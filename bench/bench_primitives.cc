@@ -1,0 +1,169 @@
+// E10 — §2.1 MPC primitives: throughput (google-benchmark) and the
+// linear-load property (printed table). Every primitive must stay at
+// O(N/p) load; the table reports measured load / (N/p) ratios.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "parjoin/common/random.h"
+#include "parjoin/common/table_printer.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/mpc/exchange.h"
+#include "parjoin/mpc/primitives.h"
+#include "parjoin/query/dangling.h"
+#include "parjoin/relation/ops.h"
+#include "parjoin/sketch/kmv.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+std::vector<std::pair<std::int64_t, std::int64_t>> MakePairs(
+    std::int64_t n, std::int64_t keys, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  items.reserve(static_cast<size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    items.emplace_back(rng.Uniform(0, keys - 1), rng.Uniform(1, 9));
+  }
+  return items;
+}
+
+void BM_Sort(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  mpc::Cluster cluster(64);
+  auto items = MakePairs(n, n, 1);
+  auto dist = mpc::ScatterEvenly(items, 64);
+  for (auto _ : state) {
+    auto sorted = mpc::Sort(cluster, dist, [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    });
+    benchmark::DoNotOptimize(sorted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Sort)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  mpc::Cluster cluster(64);
+  auto items = MakePairs(n, n / 16, 2);
+  auto dist = mpc::ScatterEvenly(items, 64);
+  for (auto _ : state) {
+    auto reduced = mpc::ReduceByKey(
+        cluster, dist, [](const auto& kv) { return kv.first; },
+        [](auto* acc, const auto& kv) { acc->second += kv.second; });
+    benchmark::DoNotOptimize(reduced);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReduceByKey)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_Exchange(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  mpc::Cluster cluster(64);
+  auto items = MakePairs(n, n, 3);
+  auto dist = mpc::ScatterEvenly(items, 64);
+  for (auto _ : state) {
+    auto parted = mpc::Exchange(cluster, dist, 64, [](const auto& kv) {
+      return static_cast<int>(Mix64(static_cast<std::uint64_t>(kv.first)) %
+                              64);
+    });
+    benchmark::DoNotOptimize(parted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Exchange)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_KmvInsert(benchmark::State& state) {
+  SeededHash hash(7);
+  std::int64_t i = 0;
+  Kmv kmv;
+  for (auto _ : state) {
+    kmv.AddHash(hash(static_cast<std::uint64_t>(i++)));
+    benchmark::DoNotOptimize(kmv);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KmvInsert);
+
+void PrintLinearLoadTable() {
+  using parjoin::bench::Ratio;
+  std::cout << "\nLinear-load property (N = 2^18, p = 64; ratio = measured "
+               "load / (N/p)):\n";
+  TablePrinter table({"primitive", "load", "N/p", "ratio", "rounds"});
+  const std::int64_t n = 1 << 18;
+  const int p = 64;
+  const std::int64_t per = n / p;
+
+  {
+    mpc::Cluster c(p);
+    auto dist = mpc::ScatterEvenly(MakePairs(n, n, 1), p);
+    mpc::Sort(c, dist,
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    table.AddRow({"sort", Fmt(c.stats().max_load), Fmt(per),
+                  Ratio(static_cast<double>(c.stats().max_load),
+                        static_cast<double>(per)),
+                  Fmt(static_cast<std::int64_t>(c.stats().rounds))});
+  }
+  {
+    mpc::Cluster c(p);
+    auto dist = mpc::ScatterEvenly(MakePairs(n, 64, 2), p);  // heavy skew
+    mpc::ReduceByKey(
+        c, dist, [](const auto& kv) { return kv.first; },
+        [](auto* acc, const auto& kv) { acc->second += kv.second; });
+    table.AddRow({"reduce-by-key (64 keys)", Fmt(c.stats().max_load),
+                  Fmt(per),
+                  Ratio(static_cast<double>(c.stats().max_load),
+                        static_cast<double>(per)),
+                  Fmt(static_cast<std::int64_t>(c.stats().rounds))});
+  }
+  {
+    mpc::Cluster c(p);
+    std::vector<mpc::PackedItem> items;
+    Rng rng(5);
+    for (std::int64_t i = 0; i < n / 16; ++i) {
+      items.push_back({i, rng.UniformDouble() * 0.9 + 0.05, -1});
+    }
+    mpc::ParallelPacking(c, std::move(items));
+    table.AddRow({"parallel-packing", Fmt(c.stats().max_load),
+                  Fmt(n / 16 / p),
+                  Ratio(static_cast<double>(c.stats().max_load),
+                        static_cast<double>(n / 16 / p)),
+                  Fmt(static_cast<std::int64_t>(c.stats().rounds))});
+  }
+  {
+    mpc::Cluster c(p);
+    MatMulGenConfig cfg;
+    cfg.n1 = cfg.n2 = n / 2;
+    cfg.dom_a = n / 8;
+    cfg.dom_b = n / 32;
+    cfg.dom_c = n / 8;
+    auto instance = GenMatMulRandom<CountingSemiring>(c, cfg);
+    c.ResetStats();
+    RemoveDangling(c, &instance);
+    table.AddRow({"remove-dangling (matmul)", Fmt(c.stats().max_load),
+                  Fmt(per),
+                  Ratio(static_cast<double>(c.stats().max_load),
+                        static_cast<double>(per)),
+                  Fmt(static_cast<std::int64_t>(c.stats().rounds))});
+  }
+  table.Print(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace
+}  // namespace parjoin
+
+int main(int argc, char** argv) {
+  parjoin::bench::PrintHeader("E10", "§2.1 primitive costs",
+                              "Linear-load table, then micro throughput.");
+  parjoin::PrintLinearLoadTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

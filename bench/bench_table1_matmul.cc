@@ -1,0 +1,108 @@
+// E1 — Table 1, row "Matrix Multiplication".
+//
+// Regenerates the paper's headline comparison: the distributed Yannakakis
+// baseline (load O(N/p + N*sqrt(OUT)/p)) against the Theorem 1 algorithm
+// (load O(N/p + min{sqrt(N1 N2/p), (N1 N2)^{1/3} OUT^{1/3}/p^{2/3}})),
+// on block-structured sparse matrices sweeping OUT at fixed N, then
+// sweeping N at fixed OUT. The measured loads should track the bound
+// expressions and the paper's winner (the new algorithm) should win by a
+// growing factor as OUT grows.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "bounds.h"
+#include "parjoin/algorithms/hypercube.h"
+#include "parjoin/algorithms/matmul.h"
+#include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/common/table_printer.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+void RunSweep(const std::string& title, int p,
+              const std::vector<MatMulBlockConfig>& configs) {
+  std::cout << title << " (p = " << p << ")\n";
+  TablePrinter table({"N1", "N2", "OUT", "L_yannakakis", "L_hypercube",
+                      "L_theorem1", "speedup", "bound_yann", "bound_thm1",
+                      "rounds_thm1", "ms_thm1"});
+  for (const auto& cfg : configs) {
+    std::int64_t out_measured = 0;
+    bench::RunResult yann = bench::Measure(p, 1, [&](mpc::Cluster& c) {
+      auto instance = GenMatMulBlocks<S>(c, cfg);
+      c.ResetStats();
+      auto r = YannakakisJoinAggregate(c, std::move(instance));
+      out_measured = r.TotalSize();
+    });
+    bench::RunResult hc = bench::Measure(p, 1, [&](mpc::Cluster& c) {
+      auto instance = GenMatMulBlocks<S>(c, cfg);
+      c.ResetStats();
+      HyperCubeJoinAggregate(c, std::move(instance));
+    });
+    bench::RunResult ours = bench::Measure(p, 1, [&](mpc::Cluster& c) {
+      auto instance = GenMatMulBlocks<S>(c, cfg);
+      c.ResetStats();
+      MatMul(c, std::move(instance.relations[0]),
+             std::move(instance.relations[1]));
+    });
+    table.AddRow({Fmt(cfg.n1()), Fmt(cfg.n2()), Fmt(out_measured),
+                  Fmt(yann.load), Fmt(hc.load), Fmt(ours.load),
+                  bench::Ratio(static_cast<double>(yann.load),
+                               static_cast<double>(ours.load)),
+                  Fmt(bench::YannakakisMatMulBound(cfg.n1() + cfg.n2(),
+                                                   out_measured, p)),
+                  Fmt(bench::NewMatMulBound(cfg.n1(), cfg.n2(), out_measured,
+                                            p)),
+                  Fmt(static_cast<std::int64_t>(ours.rounds)),
+                  Fmt(ours.wall_ms)});
+  }
+  table.Print(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace
+}  // namespace parjoin
+
+int main() {
+  using namespace parjoin;
+  bench::PrintHeader(
+      "E1", "Table 1 — matrix multiplication",
+      "Measured load (max tuples received by any server in any round) of\n"
+      "distributed Yannakakis vs. the Theorem 1 algorithm; bound columns\n"
+      "evaluate the Table 1 expressions with constant 1.");
+
+  const int p = 64;
+  std::vector<MatMulBlockConfig> out_sweep;
+  for (std::int64_t out : {512, 2048, 8192, 32768, 131072}) {
+    out_sweep.push_back(MatMulBlockConfig::FromTargets(20000, out, 8));
+  }
+  RunSweep("Sweep OUT at N ~ 20,000", p, out_sweep);
+
+  std::vector<MatMulBlockConfig> n_sweep;
+  for (std::int64_t n : {4000, 8000, 16000, 32000}) {
+    n_sweep.push_back(MatMulBlockConfig::FromTargets(n, 4096, 8));
+  }
+  RunSweep("Sweep N at OUT ~ 4,096", p, n_sweep);
+
+  std::vector<MatMulBlockConfig> unbalanced;
+  {
+    // N1 != N2: the general Theorem 1 bound with unequal sizes.
+    MatMulBlockConfig cfg;
+    cfg.blocks = 8;
+    cfg.side_a = 4;
+    cfg.side_b = 40;
+    cfg.side_c = 16;
+    unbalanced.push_back(cfg);
+    cfg.side_a = 2;
+    cfg.side_b = 100;
+    cfg.side_c = 25;
+    unbalanced.push_back(cfg);
+  }
+  RunSweep("Unequal N1/N2", p, unbalanced);
+  return 0;
+}

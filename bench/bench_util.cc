@@ -1,0 +1,38 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace parjoin {
+namespace bench {
+
+RunResult Measure(int p, std::uint64_t seed,
+                  const std::function<void(mpc::Cluster&)>& body) {
+  mpc::Cluster cluster(p, seed);
+  Stopwatch watch;
+  body(cluster);
+  RunResult result;
+  result.wall_ms = watch.ElapsedMillis();
+  result.load = cluster.stats().max_load;
+  result.rounds = cluster.stats().rounds;
+  result.total_comm = cluster.stats().total_comm;
+  return result;
+}
+
+std::string Ratio(double numerator, double denominator) {
+  if (denominator <= 0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", numerator / denominator);
+  return buf;
+}
+
+void PrintHeader(const std::string& experiment_id,
+                 const std::string& paper_artifact, const std::string& note) {
+  std::cout << "\n=== " << experiment_id << " — " << paper_artifact
+            << " ===\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << std::endl;
+}
+
+}  // namespace bench
+}  // namespace parjoin

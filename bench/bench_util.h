@@ -1,0 +1,39 @@
+// Shared helpers for the paper-table benchmark binaries: run an algorithm
+// on a fresh cluster, collect (load, rounds, total communication, wall
+// time), and format report rows.
+
+#ifndef PARJOIN_BENCH_BENCH_UTIL_H_
+#define PARJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "parjoin/common/stopwatch.h"
+#include "parjoin/mpc/cluster.h"
+
+namespace parjoin {
+namespace bench {
+
+struct RunResult {
+  std::int64_t load = 0;       // stats().max_load
+  int rounds = 0;              // stats().rounds
+  std::int64_t total_comm = 0; // stats().total_comm
+  double wall_ms = 0;
+};
+
+// Runs `body` against a fresh cluster of p servers and reports its costs.
+RunResult Measure(int p, std::uint64_t seed,
+                  const std::function<void(mpc::Cluster&)>& body);
+
+// "1.23x" style ratio formatting (guards against division by zero).
+std::string Ratio(double numerator, double denominator);
+
+// Prints the standard bench banner (experiment id, paper artifact, note).
+void PrintHeader(const std::string& experiment_id,
+                 const std::string& paper_artifact, const std::string& note);
+
+}  // namespace bench
+}  // namespace parjoin
+
+#endif  // PARJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,56 @@
+#include "bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parjoin {
+namespace bench {
+namespace {
+
+double D(std::int64_t v) { return static_cast<double>(v); }
+
+}  // namespace
+
+double YannakakisMatMulBound(std::int64_t n, std::int64_t out, int p) {
+  return D(n) / p + D(n) * std::sqrt(D(out)) / p;
+}
+
+double NewMatMulBound(std::int64_t n1, std::int64_t n2, std::int64_t out,
+                      int p) {
+  const double wc = std::sqrt(D(n1) * D(n2) / p);
+  const double os =
+      std::cbrt(D(n1) * D(n2) * D(out)) / std::pow(static_cast<double>(p),
+                                                   2.0 / 3.0);
+  return D(n1 + n2) / p + std::min(wc, os);
+}
+
+double YannakakisStarBound(std::int64_t n, std::int64_t out, int arity,
+                           int p) {
+  return D(n) / p +
+         D(n) * std::pow(D(out), 1.0 - 1.0 / arity) / p;
+}
+
+double YannakakisTreeBound(std::int64_t n, std::int64_t out, int p) {
+  return D(n) / p + D(n) * D(out) / p;
+}
+
+double NewLineStarBound(std::int64_t n, std::int64_t out, int p) {
+  return std::pow(D(n) * D(out) / p, 2.0 / 3.0) +
+         D(n) * std::sqrt(D(out)) / p + D(n + out) / p;
+}
+
+double NewTreeBound(std::int64_t n, std::int64_t out, int p) {
+  return D(n) * std::pow(D(out), 2.0 / 3.0) / p + D(n + out) / p;
+}
+
+double MatMulLowerBound(std::int64_t n1, std::int64_t n2, std::int64_t out,
+                        int p) {
+  const double wc = std::sqrt(D(n1) * D(n2) / p);
+  const double os =
+      std::cbrt(D(n1) * D(n2) * D(out)) / std::pow(static_cast<double>(p),
+                                                   2.0 / 3.0);
+  return std::min(wc, os);
+}
+
+}  // namespace bench
+}  // namespace parjoin

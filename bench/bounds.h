@@ -1,0 +1,47 @@
+// Closed-form evaluations of the load bounds in the paper's Table 1,
+// reported next to measured loads so every bench prints
+// paper-bound vs. measured side by side.
+//
+// All bounds are asymptotic; these helpers evaluate the dominant expression
+// with constant 1, so ratios (measured / bound) are meaningful across a
+// sweep even though absolute constants are implementation-specific.
+
+#ifndef PARJOIN_BENCH_BOUNDS_H_
+#define PARJOIN_BENCH_BOUNDS_H_
+
+#include <cstdint>
+
+namespace parjoin {
+namespace bench {
+
+// Distributed Yannakakis, matrix multiplication: O(N/p + N*sqrt(OUT)/p).
+double YannakakisMatMulBound(std::int64_t n, std::int64_t out, int p);
+
+// Theorem 1: O((N1+N2)/p + min{sqrt(N1 N2 / p),
+//                               (N1 N2)^{1/3} OUT^{1/3} / p^{2/3}}).
+double NewMatMulBound(std::int64_t n1, std::int64_t n2, std::int64_t out,
+                      int p);
+
+// Distributed Yannakakis, star query (n relations):
+// O(N/p + N * OUT^{1-1/n} / p).
+double YannakakisStarBound(std::int64_t n, std::int64_t out, int arity, int p);
+
+// Distributed Yannakakis, line/tree queries: O(N/p + N*OUT/p).
+double YannakakisTreeBound(std::int64_t n, std::int64_t out, int p);
+
+// Theorem 4 / Theorem 5 (line and star queries):
+// O((N*OUT/p)^{2/3} + N*OUT^{1/2}/p + (N+OUT)/p).
+double NewLineStarBound(std::int64_t n, std::int64_t out, int p);
+
+// Theorem 6 (tree queries): O(N*OUT^{2/3}/p + (N+OUT)/p).
+double NewTreeBound(std::int64_t n, std::int64_t out, int p);
+
+// Theorem 3 lower bound:
+// Omega(min{sqrt(N1 N2 / p), (N1 N2)^{1/3} OUT^{1/3} / p^{2/3}}).
+double MatMulLowerBound(std::int64_t n1, std::int64_t n2, std::int64_t out,
+                        int p);
+
+}  // namespace bench
+}  // namespace parjoin
+
+#endif  // PARJOIN_BENCH_BOUNDS_H_

@@ -1,0 +1,83 @@
+// Bottleneck provenance over a general TREE query (§7).
+//
+// A data-pipeline lineage: source datasets feed staging tables, which feed
+// two reporting marts. Every edge carries a quality score in [0, 100];
+// the max-min semiring computes, per reported combination, the best
+// achievable worst-link quality — "how trustworthy is this output, taking
+// the strongest derivation path?". The query is the paper's Figure-3-style
+// general twig: two high-degree non-output attributes.
+
+#include <algorithm>
+#include <set>
+#include <iostream>
+
+#include "parjoin/algorithms/tree_query.h"
+#include "parjoin/common/random.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/relation/relation.h"
+#include "parjoin/semiring/semirings.h"
+
+namespace {
+
+using S = parjoin::MaxMinSemiring;
+
+parjoin::Relation<S> LineageEdges(parjoin::Schema schema, int from, int to,
+                                  int rows, std::uint64_t seed) {
+  parjoin::Rng rng(seed);
+  parjoin::Relation<S> rel(schema);
+  std::set<std::pair<parjoin::Value, parjoin::Value>> seen;
+  while (static_cast<int>(seen.size()) < rows) {
+    parjoin::Value u = rng.Uniform(0, from - 1);
+    parjoin::Value v = rng.Uniform(0, to - 1);
+    if (!seen.insert({u, v}).second) continue;
+    rel.Add(parjoin::Row{u, v}, rng.Uniform(50, 100));  // quality score
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  // Attributes: report1 = 1, report2 = 2, report3 = 3, source = 4 (all
+  // outputs); staging hubs b1 = 10, b2 = 11 (non-output, high degree);
+  // intermediate c = 12.
+  // Query tree: 1 - 10 - 2, 10 - 11, 11 - 3, 11 - 12 - 4.
+  parjoin::JoinTree lineage(
+      {{1, 10}, {10, 2}, {10, 11}, {11, 3}, {11, 12}, {12, 4}},
+      {1, 2, 3, 4});
+  std::cout << "Lineage query: " << lineage.DebugString() << "\n";
+
+  parjoin::mpc::Cluster cluster(16);
+  parjoin::TreeInstance<S> instance{lineage, {}};
+  instance.relations.push_back(parjoin::Distribute(
+      cluster, LineageEdges(parjoin::Schema{1, 10}, 60, 30, 500, 1)));
+  instance.relations.push_back(parjoin::Distribute(
+      cluster, LineageEdges(parjoin::Schema{10, 2}, 30, 60, 500, 2)));
+  instance.relations.push_back(parjoin::Distribute(
+      cluster, LineageEdges(parjoin::Schema{10, 11}, 30, 30, 300, 3)));
+  instance.relations.push_back(parjoin::Distribute(
+      cluster, LineageEdges(parjoin::Schema{11, 3}, 30, 60, 500, 4)));
+  instance.relations.push_back(parjoin::Distribute(
+      cluster, LineageEdges(parjoin::Schema{11, 12}, 30, 25, 300, 5)));
+  instance.relations.push_back(parjoin::Distribute(
+      cluster, LineageEdges(parjoin::Schema{12, 4}, 25, 60, 500, 6)));
+
+  auto result = parjoin::TreeQueryAggregate(cluster, instance);
+
+  parjoin::Relation<S> local = result.ToLocal();
+  local.Normalize();
+  std::int64_t strong = 0;
+  S::ValueType best = S::Zero();
+  for (const auto& t : local.tuples()) {
+    if (t.w >= 90) ++strong;
+    best = S::Plus(best, t.w);
+  }
+  std::cout << local.size()
+            << " derivable (report1, report2, report3, source) combinations;"
+            << "\n  " << strong
+            << " with bottleneck quality >= 90 (best overall: " << best
+            << ").\n";
+  std::cout << "Tree-query load: " << cluster.stats().max_load << " in "
+            << cluster.stats().rounds << " rounds.\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+// query_runner: run an arbitrary tree join-aggregate query from files.
+//
+// Usage:
+//   example_query_runner <spec-file>
+//   example_query_runner --demo        (writes and runs a sample spec)
+//
+// Spec format (one directive per line; '#' comments):
+//   p <servers>                        cluster size (default 16)
+//   edge <attrU> <attrV> <csv-path>    one relation per edge
+//   output <attr> [<attr> ...]         the output attributes y
+//   result <csv-path>                  where to write the result
+//
+// Relations are CSVs of "v1,v2,annotation" rows (counting semiring).
+// The runner classifies the query shape, executes TreeQueryAggregate (the
+// universal §3–§7 entry point), prints the MPC cost ledger, and writes
+// the aggregated result.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parjoin/algorithms/tree_query.h"
+#include "parjoin/query/explain.h"
+#include "parjoin/relation/io.h"
+#include "parjoin/semiring/semirings.h"
+
+namespace {
+
+using S = parjoin::CountingSemiring;
+
+struct SpecEdge {
+  parjoin::AttrId u = 0;
+  parjoin::AttrId v = 0;
+  std::string path;
+};
+
+struct Spec {
+  int p = 16;
+  std::vector<SpecEdge> edges;
+  std::vector<parjoin::AttrId> outputs;
+  std::string result_path = "result.csv";
+};
+
+bool ParseSpec(const std::string& path, Spec* spec, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open spec " + path;
+    return false;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string directive;
+    tokens >> directive;
+    if (directive == "p") {
+      tokens >> spec->p;
+    } else if (directive == "edge") {
+      SpecEdge e;
+      tokens >> e.u >> e.v >> e.path;
+      spec->edges.push_back(e);
+    } else if (directive == "output") {
+      parjoin::AttrId a;
+      while (tokens >> a) spec->outputs.push_back(a);
+    } else if (directive == "result") {
+      tokens >> spec->result_path;
+    } else {
+      *error = path + ":" + std::to_string(line_number) +
+               ": unknown directive '" + directive + "'";
+      return false;
+    }
+    if (tokens.bad()) {
+      *error = path + ":" + std::to_string(line_number) + ": parse error";
+      return false;
+    }
+  }
+  if (spec->edges.empty()) {
+    *error = "spec has no edges";
+    return false;
+  }
+  return true;
+}
+
+int RunSpec(const Spec& spec) {
+  std::vector<parjoin::QueryEdge> edges;
+  for (const auto& e : spec.edges) edges.push_back({e.u, e.v});
+  parjoin::JoinTree query(edges, spec.outputs);
+  std::cout << parjoin::ExplainQuery(query) << "\n";
+
+  parjoin::mpc::Cluster cluster(spec.p);
+  parjoin::TreeInstance<S> instance{query, {}};
+  for (const auto& e : spec.edges) {
+    parjoin::Relation<S> rel;
+    std::string error;
+    if (!parjoin::LoadRelationCsv(e.path, parjoin::Schema{e.u, e.v}, &rel,
+                                  &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    std::cout << "  loaded " << e.path << ": " << rel.size() << " tuples\n";
+    instance.relations.push_back(parjoin::Distribute(cluster, rel));
+  }
+
+  auto result = parjoin::TreeQueryAggregate(cluster, std::move(instance));
+  parjoin::Relation<S> local = result.ToLocal();
+  local.Normalize();
+
+  std::string error;
+  if (!parjoin::SaveRelationCsv(spec.result_path, local, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cout << "\nResult: " << local.size() << " tuples -> "
+            << spec.result_path << "\n"
+            << "Cost: load " << cluster.stats().max_load << ", "
+            << cluster.stats().rounds << " rounds, "
+            << cluster.stats().total_comm << " tuples moved (p = " << spec.p
+            << ")\n";
+  return 0;
+}
+
+int WriteDemoAndRun() {
+  const std::string dir = "/tmp/parjoin_demo";
+  (void)system(("mkdir -p " + dir).c_str());
+  // A 3-chain: suppliers -> parts -> regions.
+  {
+    std::ofstream r1(dir + "/supplies.csv");
+    for (int s = 0; s < 40; ++s) {
+      for (int part = s % 5; part < 20; part += 5) {
+        r1 << s << "," << part << ",1\n";
+      }
+    }
+    std::ofstream r2(dir + "/ships_to.csv");
+    for (int part = 0; part < 20; ++part) {
+      for (int region = part % 3; region < 9; region += 3) {
+        r2 << part << "," << region << "," << (1 + part % 4) << "\n";
+      }
+    }
+  }
+  {
+    std::ofstream spec(dir + "/query.spec");
+    spec << "# how many supply routes connect each (supplier, region)?\n"
+         << "p 8\n"
+         << "edge 0 1 " << dir << "/supplies.csv\n"
+         << "edge 1 2 " << dir << "/ships_to.csv\n"
+         << "output 0 2\n"
+         << "result " << dir << "/routes.csv\n";
+  }
+  Spec spec;
+  std::string error;
+  if (!ParseSpec(dir + "/query.spec", &spec, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cout << "Demo spec written to " << dir << "/query.spec\n\n";
+  return RunSpec(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--demo") return WriteDemoAndRun();
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <spec-file> | --demo\n";
+    return 2;
+  }
+  Spec spec;
+  std::string error;
+  if (!ParseSpec(argv[1], &spec, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  return RunSpec(spec);
+}

@@ -1,0 +1,63 @@
+// Quickstart: sparse matrix multiplication as a join-aggregate query.
+//
+// Builds two small annotated relations R1(A,B), R2(B,C) over the counting
+// semiring (Z, +, *), runs the paper's Theorem 1 algorithm on a simulated
+// 8-server MPC cluster, and prints the result next to the cost ledger.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <iostream>
+
+#include "parjoin/algorithms/matmul.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/relation/relation.h"
+#include "parjoin/semiring/semirings.h"
+
+int main() {
+  using S = parjoin::CountingSemiring;
+  using parjoin::Relation;
+  using parjoin::Row;
+  using parjoin::Schema;
+
+  // A 3x3 sparse matrix and a 3x2 sparse matrix, entries as (row, col,
+  // value) tuples. Attribute ids: A=0, B=1, C=2.
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{0, 0}, 2);
+  r1.Add(Row{0, 1}, 3);
+  r1.Add(Row{1, 1}, 5);
+  r1.Add(Row{2, 0}, 7);
+
+  Relation<S> r2(Schema{1, 2});
+  r2.Add(Row{0, 0}, 1);
+  r2.Add(Row{1, 0}, 4);
+  r2.Add(Row{1, 1}, 6);
+
+  // A simulated MPC cluster with p = 8 servers. The initial placement
+  // spreads each relation evenly (the model's assumption); every later
+  // tuple movement is charged to the load ledger.
+  parjoin::mpc::Cluster cluster(/*p=*/8);
+  auto d1 = parjoin::Distribute(cluster, r1);
+  auto d2 = parjoin::Distribute(cluster, r2);
+
+  // ∑_B R1(A,B) ⋈ R2(B,C) — the product matrix, computed with the
+  // dispatcher of Theorem 1 (worst-case-optimal or output-sensitive,
+  // picked via the §2.2 OUT estimate).
+  parjoin::DistRelation<S> product = parjoin::MatMul(cluster, d1, d2);
+
+  Relation<S> local = product.ToLocal();
+  local.Normalize();
+  std::cout << "C = A x B (nonzero entries):\n";
+  for (const auto& t : local.tuples()) {
+    std::cout << "  C[" << t.row[0] << "][" << t.row[1] << "] = " << t.w
+              << "\n";
+  }
+
+  const auto& stats = cluster.stats();
+  std::cout << "\nMPC cost ledger:\n"
+            << "  rounds      = " << stats.rounds << "\n"
+            << "  max load L  = " << stats.max_load
+            << " tuples (the paper's cost measure)\n"
+            << "  total comm  = " << stats.total_comm << " tuples\n";
+  return 0;
+}

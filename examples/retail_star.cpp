@@ -1,0 +1,83 @@
+// Retail basket analytics as a STAR query.
+//
+// Three fact relations share an order id B: Customer(A1, B),
+// Product(A2, B), Promotion(A3, B). The star query
+//   ∑_B Customer ⋈ Product ⋈ Promotion
+// with outputs {A1, A2, A3} lists every (customer, product, promotion)
+// combination that co-occurs in at least one order — annotated, under the
+// counting semiring, with the number of supporting orders (weighted by
+// line-item quantities). The §5 algorithm computes it without ever
+// materializing the full order join.
+
+#include <algorithm>
+#include <set>
+#include <iostream>
+
+#include "parjoin/algorithms/star_query.h"
+#include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/common/random.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/relation/relation.h"
+#include "parjoin/semiring/semirings.h"
+
+namespace {
+
+using S = parjoin::CountingSemiring;
+
+parjoin::Relation<S> FactRelation(parjoin::Schema schema, int dim_size,
+                                  int num_orders, int num_rows,
+                                  double order_skew, std::uint64_t seed) {
+  parjoin::Rng rng(seed);
+  parjoin::ZipfSampler orders(num_orders, order_skew);
+  parjoin::Relation<S> rel(schema);
+  std::set<std::pair<parjoin::Value, parjoin::Value>> seen;
+  while (static_cast<int>(seen.size()) < num_rows) {
+    parjoin::Value dim = rng.Uniform(0, dim_size - 1);
+    parjoin::Value order = orders.Sample(rng) - 1;  // big orders are hot
+    if (!seen.insert({dim, order}).second) continue;
+    rel.Add(parjoin::Row{dim, order}, rng.Uniform(1, 3));  // quantity
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kOrders = 500;
+
+  parjoin::mpc::Cluster cluster(16);
+  // Attribute ids: B (order) = 0, customer = 1, product = 2, promo = 3.
+  parjoin::TreeInstance<S> star{
+      parjoin::JoinTree({{1, 0}, {2, 0}, {3, 0}}, {1, 2, 3}), {}};
+  star.relations.push_back(parjoin::Distribute(
+      cluster,
+      FactRelation(parjoin::Schema{1, 0}, 200, kOrders, 2500, 0.8, 1)));
+  star.relations.push_back(parjoin::Distribute(
+      cluster,
+      FactRelation(parjoin::Schema{2, 0}, 300, kOrders, 3000, 0.8, 2)));
+  star.relations.push_back(parjoin::Distribute(
+      cluster,
+      FactRelation(parjoin::Schema{3, 0}, 40, kOrders, 1500, 0.8, 3)));
+
+  auto result = parjoin::StarQueryAggregate(cluster, star);
+
+  parjoin::Relation<S> local = result.ToLocal();
+  local.Normalize();
+  std::partial_sort(
+      local.tuples().begin(),
+      local.tuples().begin() + std::min<std::size_t>(5, local.tuples().size()),
+      local.tuples().end(),
+      [](const auto& a, const auto& b) { return a.w > b.w; });
+
+  std::cout << local.size()
+            << " (customer, product, promotion) combinations co-occur; "
+               "top 5 by weighted support:\n";
+  for (int i = 0; i < 5 && i < static_cast<int>(local.size()); ++i) {
+    const auto& t = local.tuples()[static_cast<size_t>(i)];
+    std::cout << "  customer " << t.row[0] << ", product " << t.row[1]
+              << ", promo " << t.row[2] << ": support " << t.w << "\n";
+  }
+  std::cout << "\nStar-query load: " << cluster.stats().max_load << " in "
+            << cluster.stats().rounds << " rounds.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Multi-leg shortest paths as a LINE query over the tropical semiring.
+//
+// A travel itinerary has three legs: home city -> hub1 -> hub2 ->
+// destination, each leg a relation of (from, to) flights annotated with a
+// price. Under the min-plus (tropical) semiring,
+//   ∑_{hub1, hub2} Leg1 ⋈ Leg2 ⋈ Leg3
+// computes, for every (home, destination) pair, the CHEAPEST total price
+// over all hub choices — the §4 line-query algorithm does it with the
+// Theorem 4 load instead of materializing all itineraries.
+
+#include <algorithm>
+#include <set>
+#include <iostream>
+
+#include "parjoin/algorithms/line_query.h"
+#include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/common/random.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/relation/relation.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace {
+
+using S = parjoin::MinPlusSemiring;
+
+parjoin::Relation<S> FlightLeg(parjoin::Schema schema, int from_cities,
+                               int to_cities, int num_flights,
+                               std::uint64_t seed) {
+  parjoin::Rng rng(seed);
+  parjoin::Relation<S> rel(schema);
+  std::set<std::pair<parjoin::Value, parjoin::Value>> seen;
+  while (static_cast<int>(seen.size()) < num_flights) {
+    parjoin::Value u = rng.Uniform(0, from_cities - 1);
+    parjoin::Value v = rng.Uniform(0, to_cities - 1);
+    if (!seen.insert({u, v}).second) continue;
+    rel.Add(parjoin::Row{u, v}, rng.Uniform(40, 400));  // price
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kCities = 120;
+  constexpr int kHubs = 25;
+  constexpr int kFlights = 1200;
+
+  parjoin::mpc::Cluster cluster(16);
+  // Attributes: home=0, hub1=1, hub2=2, destination=3.
+  parjoin::TreeInstance<S> itinerary{
+      parjoin::JoinTree({{0, 1}, {1, 2}, {2, 3}}, {0, 3}), {}};
+  itinerary.relations.push_back(parjoin::Distribute(
+      cluster, FlightLeg(parjoin::Schema{0, 1}, kCities, kHubs, kFlights, 1)));
+  itinerary.relations.push_back(parjoin::Distribute(
+      cluster, FlightLeg(parjoin::Schema{1, 2}, kHubs, kHubs, kHubs * kHubs / 2,
+                         2)));
+  itinerary.relations.push_back(parjoin::Distribute(
+      cluster, FlightLeg(parjoin::Schema{2, 3}, kHubs, kCities, kFlights, 3)));
+
+  auto cheapest = parjoin::LineQueryAggregate(cluster, itinerary);
+
+  // Show the three cheapest overall connections.
+  parjoin::Relation<S> local = cheapest.ToLocal();
+  local.Normalize();
+  std::partial_sort(
+      local.tuples().begin(),
+      local.tuples().begin() + std::min<std::size_t>(3, local.tuples().size()),
+      local.tuples().end(),
+      [](const auto& a, const auto& b) { return a.w < b.w; });
+  std::cout << "Cheapest three-leg connections out of " << local.size()
+            << " reachable (home, destination) pairs:\n";
+  for (int i = 0; i < 3 && i < static_cast<int>(local.size()); ++i) {
+    const auto& t = local.tuples()[static_cast<size_t>(i)];
+    std::cout << "  " << t.row[0] << " -> " << t.row[1] << " : $" << t.w
+              << "\n";
+  }
+  std::cout << "\nLine-query load: " << cluster.stats().max_load << " in "
+            << cluster.stats().rounds << " rounds.\n";
+
+  // The baseline for comparison: distributed Yannakakis on a fresh ledger.
+  parjoin::mpc::Cluster baseline(16);
+  parjoin::TreeInstance<S> again{
+      parjoin::JoinTree({{0, 1}, {1, 2}, {2, 3}}, {0, 3}), {}};
+  again.relations.push_back(parjoin::Distribute(
+      baseline, FlightLeg(parjoin::Schema{0, 1}, kCities, kHubs, kFlights, 1)));
+  again.relations.push_back(parjoin::Distribute(
+      baseline,
+      FlightLeg(parjoin::Schema{1, 2}, kHubs, kHubs, kHubs * kHubs / 2, 2)));
+  again.relations.push_back(parjoin::Distribute(
+      baseline, FlightLeg(parjoin::Schema{2, 3}, kHubs, kCities, kFlights, 3)));
+  parjoin::YannakakisJoinAggregate(baseline, std::move(again));
+  std::cout << "Yannakakis baseline load: " << baseline.stats().max_load
+            << "\n";
+  return 0;
+}

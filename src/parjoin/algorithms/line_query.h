@@ -1,0 +1,208 @@
+// Line queries (paper §4):
+//   ∑_{A2..An} R1(A1,A2) ⋈ R2(A2,A3) ⋈ ... ⋈ Rn(An,An+1)
+// with load O((N*OUT/p)^{2/3} + N*sqrt(OUT)/p + (N+OUT)/p) (Theorem 4).
+//
+// Recursive structure: after dangling removal and the §2.2 OUT estimate,
+// values of A2 with degree >= sqrt(OUT) in R1 are heavy.
+//   Q_heavy: every value reachable from a heavy A2 joins >= sqrt(OUT)
+//     distinct A1 values (Lemma 4), so the right-to-left Yannakakis fold
+//     R(A_i, A_{n+1}) stays below N*sqrt(OUT); the final step is one
+//     matrix multiplication R1(A1, A2_heavy) x R(A2_heavy, A_{n+1}).
+//   Q_light: R1 ⋈ R2 restricted to light A2 has at most N*sqrt(OUT)
+//     results; aggregating A2 away gives R(A1, A3) and a line query that
+//     is one relation shorter — recurse.
+// The two result sets may overlap on (A1, A_{n+1}); a final reduce-by-key
+// combines them.
+
+#ifndef PARJOIN_ALGORITHMS_LINE_QUERY_H_
+#define PARJOIN_ALGORITHMS_LINE_QUERY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "parjoin/algorithms/matmul.h"
+#include "parjoin/algorithms/two_way_join.h"
+#include "parjoin/common/logging.h"
+#include "parjoin/query/dangling.h"
+#include "parjoin/query/instance.h"
+#include "parjoin/relation/ops.h"
+#include "parjoin/sketch/out_estimate.h"
+
+namespace parjoin {
+
+namespace internal_line {
+
+// Concatenates two result sets over the same schema (no communication —
+// results stay where they were produced) and reduce-by-keys them into p
+// parts (the §4 Step 4 aggregation; charged).
+template <SemiringC S>
+DistRelation<S> CombineResults(mpc::Cluster& cluster, DistRelation<S> a,
+                               DistRelation<S> b) {
+  if (a.TotalSize() == 0) return b;
+  if (b.TotalSize() == 0) return a;
+  CHECK(a.schema == b.schema);
+  mpc::Dist<Tuple<S>> merged(a.data.num_parts() + b.data.num_parts());
+  for (int s = 0; s < a.data.num_parts(); ++s) {
+    merged.part(s) = std::move(a.data.part(s));
+  }
+  for (int s = 0; s < b.data.num_parts(); ++s) {
+    merged.part(a.data.num_parts() + s) = std::move(b.data.part(s));
+  }
+  DistRelation<S> out;
+  out.schema = a.schema;
+  out.data = mpc::ReduceByKey(
+      cluster, merged, [](const Tuple<S>& t) -> const Row& { return t.row; },
+      [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
+      cluster.p());
+  return out;
+}
+
+// Core recursion. `rels[i]` must contain attributes path[i], path[i+1];
+// dangling tuples must have been removed. Output schema (path[0],
+// path.back()).
+template <SemiringC S>
+DistRelation<S> LineQueryRec(mpc::Cluster& cluster,
+                             std::vector<DistRelation<S>> rels,
+                             std::vector<AttrId> path) {
+  const int n = static_cast<int>(rels.size());
+  CHECK_EQ(path.size(), rels.size() + 1);
+  const std::vector<AttrId> outputs = {path.front(), path.back()};
+
+  if (n == 1) {
+    return AggregateByAttrs(cluster, rels[0], outputs);
+  }
+  if (n == 2) {
+    MatMulOptions options;
+    options.remove_dangling = false;  // invariant: already reduced
+    return MatMul(cluster, std::move(rels[0]), std::move(rels[1]), options);
+  }
+
+  // §2.2 estimate of OUT (also supplies per-A1 counts, unused here).
+  const OutEstimate est = EstimateChainOut(cluster, rels, path);
+  const std::int64_t out_est = std::max<std::int64_t>(1, est.total);
+  const std::int64_t heavy_threshold = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(std::sqrt(static_cast<double>(out_est)))));
+
+  // Step 1: heavy A2 values by degree in R1.
+  const int a2_pos0 = rels[0].schema.IndexOf(path[1]);
+  const int a2_pos1 = rels[1].schema.IndexOf(path[1]);
+  mpc::Dist<ValueCount> deg_a2 = DegreesByAttr(cluster, rels[0], path[1]);
+  const std::unordered_map<Value, std::int64_t> heavy_a2 =
+      CollectStatsAtLeast(cluster, deg_a2, heavy_threshold);
+
+  auto split = [&](const DistRelation<S>& rel, int pos) {
+    std::pair<DistRelation<S>, DistRelation<S>> hl;  // (heavy, light)
+    hl.first.schema = hl.second.schema = rel.schema;
+    hl.first.data = mpc::Dist<Tuple<S>>(rel.data.num_parts());
+    hl.second.data = mpc::Dist<Tuple<S>>(rel.data.num_parts());
+    for (int s = 0; s < rel.data.num_parts(); ++s) {
+      for (const auto& t : rel.data.part(s)) {
+        const bool heavy = heavy_a2.count(t.row[pos]) > 0;
+        (heavy ? hl.first : hl.second).data.part(s).push_back(t);
+      }
+    }
+    return hl;
+  };
+  auto [r1_heavy, r1_light] = split(rels[0], a2_pos0);
+  auto [r2_heavy, r2_light] = split(rels[1], a2_pos1);
+
+  // Step 2: Q_heavy — fold right-to-left, then one matrix multiplication.
+  DistRelation<S> heavy_result;
+  heavy_result.schema = Schema{path.front(), path.back()};
+  heavy_result.data = mpc::Dist<Tuple<S>>(cluster.p());
+  if (r1_heavy.TotalSize() > 0 && r2_heavy.TotalSize() > 0) {
+    // Re-reduce the heavy subquery (light-only continuations dangle now).
+    std::vector<QueryEdge> edges;
+    for (int i = 0; i < n; ++i) edges.push_back({path[static_cast<size_t>(i)],
+                                                 path[static_cast<size_t>(i) + 1]});
+    TreeInstance<S> heavy_instance{JoinTree(edges, outputs), {}};
+    heavy_instance.relations.push_back(std::move(r1_heavy));
+    heavy_instance.relations.push_back(std::move(r2_heavy));
+    for (int i = 2; i < n; ++i) {
+      heavy_instance.relations.push_back(rels[static_cast<size_t>(i)]);
+    }
+    RemoveDangling(cluster, &heavy_instance);
+
+    if (heavy_instance.relations[0].TotalSize() > 0) {
+      // (2.1) R(A_i, A_{n+1}) for i = n-1 .. 2 via Yannakakis steps.
+      DistRelation<S> fold =
+          std::move(heavy_instance.relations[static_cast<size_t>(n) - 1]);
+      for (int i = n - 2; i >= 1; --i) {
+        fold = JoinAggregate(cluster,
+                             heavy_instance.relations[static_cast<size_t>(i)],
+                             fold, {path[static_cast<size_t>(i)], path.back()});
+      }
+      // (2.2) reduce to matrix multiplication (output-sensitive, §3.2).
+      MatMulOptions options;
+      options.remove_dangling = false;
+      options.strategy = MatMulStrategy::kOutputSensitive;
+      heavy_result = MatMul(cluster, std::move(heavy_instance.relations[0]),
+                            std::move(fold), options);
+    }
+  }
+
+  // Step 3: Q_light — shrink by one relation and recurse.
+  DistRelation<S> light_result;
+  light_result.schema = Schema{path.front(), path.back()};
+  light_result.data = mpc::Dist<Tuple<S>>(cluster.p());
+  if (r1_light.TotalSize() > 0 && r2_light.TotalSize() > 0) {
+    DistRelation<S> r13 = JoinAggregate(cluster, r1_light, r2_light,
+                                        {path[0], path[2]});
+    std::vector<DistRelation<S>> rest;
+    rest.push_back(std::move(r13));
+    for (int i = 2; i < n; ++i) {
+      rest.push_back(std::move(rels[static_cast<size_t>(i)]));
+    }
+    std::vector<AttrId> rest_path(path.begin() + 2, path.end());
+    rest_path.insert(rest_path.begin(), path[0]);
+    light_result =
+        LineQueryRec(cluster, std::move(rest), std::move(rest_path));
+  }
+
+  // Step 4: the two subqueries may share (A1, A_{n+1}) groups.
+  return CombineResults(cluster, std::move(heavy_result),
+                        std::move(light_result));
+}
+
+}  // namespace internal_line
+
+// Entry point: computes a line query (IsPath with both endpoints output).
+// Removes dangling tuples, orients the path, and runs the §4 recursion.
+template <SemiringC S>
+DistRelation<S> LineQueryAggregate(mpc::Cluster& cluster,
+                                   TreeInstance<S> instance) {
+  instance.Validate();
+  std::vector<AttrId> path;
+  CHECK(instance.query.IsPath(&path)) << "not a line query";
+  CHECK_EQ(instance.query.output_attrs().size(), 2u);
+  CHECK(instance.query.IsOutput(path.front()) &&
+        instance.query.IsOutput(path.back()));
+
+  RemoveDangling(cluster, &instance);
+
+  // Align relations with consecutive path edges.
+  std::vector<DistRelation<S>> rels(instance.relations.size());
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    bool found = false;
+    for (int e = 0; e < instance.query.num_edges(); ++e) {
+      const QueryEdge& edge = instance.query.edge(e);
+      if ((edge.u == path[i] && edge.v == path[i + 1]) ||
+          (edge.v == path[i] && edge.u == path[i + 1])) {
+        rels[i] = std::move(instance.relations[static_cast<size_t>(e)]);
+        found = true;
+        break;
+      }
+    }
+    CHECK(found);
+  }
+  return internal_line::LineQueryRec(cluster, std::move(rels),
+                                     std::move(path));
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_ALGORITHMS_LINE_QUERY_H_

@@ -1,0 +1,360 @@
+// Output-sensitive sparse matrix multiplication (paper §3.2):
+// load O((N1+N2)/p + (N1*N2*OUT)^{1/3} / p^{2/3}).
+//
+// Structure (after dangling removal and §2.2 OUT estimation):
+//   OUT <= N/p           LinearSparseMM: sort everything by B (grouped),
+//                        aggregate locally, reduce-by-key the local results.
+//   otherwise            L = (N1*N2*OUT/p^2)^{1/3} + N/p and:
+//     step 2  heavy rows (OUT_a >= sqrt(N2*OUT*L/N1)) go through one
+//             optimal two-way join + aggregation (their intermediate join
+//             is small: each R2 tuple meets few heavy rows);
+//     step 3  light rows are parallel-packed into groups A_i of total
+//             OUT_a <= sqrt(N2*OUT*L/N1); per group, the output count of
+//             every column c is estimated with the §2.2 KMV chain, and
+//             heavy columns (>= L outputs in the group) get dedicated
+//             B-sharded server groups;
+//     step 4  the light columns of each group are parallel-packed into
+//             buckets C_ij of <= L group-outputs; subquery (A_i, C_ij)
+//             runs on ceil(|R_ij|/L) servers — on a single server its
+//             outputs are final and never shuffled (the locality that
+//             beats Yannakakis), otherwise its partial sums join the
+//             global reduce.
+
+#ifndef PARJOIN_ALGORITHMS_MATMUL_OS_H_
+#define PARJOIN_ALGORITHMS_MATMUL_OS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "parjoin/algorithms/matmul_wc.h"
+#include "parjoin/algorithms/two_way_join.h"
+#include "parjoin/common/hash.h"
+#include "parjoin/common/logging.h"
+#include "parjoin/common/parallel_for.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/mpc/exchange.h"
+#include "parjoin/mpc/primitives.h"
+#include "parjoin/relation/ops.h"
+#include "parjoin/relation/relation.h"
+#include "parjoin/sketch/out_estimate.h"
+
+namespace parjoin {
+
+// LinearSparseMM (§3.2): correct for any input, linear load when
+// OUT <= N/p (every B-degree is then < N/p, so the grouped sort balances).
+template <SemiringC S>
+DistRelation<S> LinearSparseMM(mpc::Cluster& cluster,
+                               const DistRelation<S>& r1,
+                               const DistRelation<S>& r2) {
+  using internal_matmul::MatMulAttrs;
+  const MatMulAttrs m = internal_matmul::ResolveMatMulAttrs(r1, r2);
+  const int p = cluster.p();
+
+  struct Tagged {
+    Tuple<S> t;
+    bool from_r1 = false;
+  };
+  mpc::Dist<Tagged> tagged(std::max(r1.data.num_parts(), r2.data.num_parts()));
+  for (int s = 0; s < r1.data.num_parts(); ++s) {
+    for (const auto& t : r1.data.part(s)) {
+      tagged.part(s).push_back({t, true});
+    }
+  }
+  for (int s = 0; s < r2.data.num_parts(); ++s) {
+    for (const auto& t : r2.data.part(s)) {
+      tagged.part(s).push_back({t, false});
+    }
+  }
+
+  mpc::Dist<Tagged> by_b = mpc::SortGroupedByKey(
+      cluster, tagged, [&](const Tagged& x) {
+        return x.from_r1 ? x.t.row[m.b1_pos] : x.t.row[m.b2_pos];
+      });
+
+  mpc::Dist<Tuple<S>> partials(by_b.num_parts());
+  for (int s = 0; s < by_b.num_parts(); ++s) {
+    std::vector<Tuple<S>> r1_part, r2_part;
+    for (const auto& x : by_b.part(s)) {
+      (x.from_r1 ? r1_part : r2_part).push_back(x.t);
+    }
+    internal_matmul::LocalJoinAggregateAC(m, r1_part, r2_part,
+                                          &partials.part(s));
+  }
+
+  DistRelation<S> out;
+  out.schema = Schema{m.a, m.c};
+  out.data = mpc::ReduceByKey(
+      cluster, partials,
+      [](const Tuple<S>& t) -> const Row& { return t.row; },
+      [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
+      p);
+  return out;
+}
+
+struct MatMulOsOptions {
+  // Repetitions for the per-group column estimates (step 3); the global
+  // OUT estimate uses the EstimateChainOut default when not supplied.
+  int group_estimate_repetitions = 5;
+};
+
+// §3.2 output-sensitive algorithm. Preconditions: dangling tuples removed,
+// N1, N2 >= 1. `est` is the §2.2 estimate for the chain A-B-C (recomputed
+// when null).
+template <SemiringC S>
+DistRelation<S> MatMulOutputSensitive(mpc::Cluster& cluster,
+                                      const DistRelation<S>& r1,
+                                      const DistRelation<S>& r2,
+                                      const OutEstimate* est = nullptr,
+                                      const MatMulOsOptions& options = {}) {
+  using internal_matmul::MatMulAttrs;
+  const MatMulAttrs m = internal_matmul::ResolveMatMulAttrs(r1, r2);
+  const int p = cluster.p();
+  const std::int64_t n1 = r1.TotalSize();
+  const std::int64_t n2 = r2.TotalSize();
+  const std::int64_t n = n1 + n2;
+
+  DistRelation<S> empty;
+  empty.schema = Schema{m.a, m.c};
+  empty.data = mpc::Dist<Tuple<S>>(p);
+  if (n1 == 0 || n2 == 0) return empty;
+
+  OutEstimate local_est;
+  if (est == nullptr) {
+    local_est = EstimateChainOut(cluster, std::vector<DistRelation<S>>{r1, r2},
+                                 {m.a, m.b, m.c});
+    est = &local_est;
+  }
+  const std::int64_t out_est = std::max<std::int64_t>(1, est->total);
+
+  if (out_est <= std::max<std::int64_t>(1, n / p)) {
+    return LinearSparseMM(cluster, r1, r2);
+  }
+
+  const std::int64_t L = std::max<std::int64_t>(
+      1,
+      static_cast<std::int64_t>(std::ceil(
+          std::cbrt(static_cast<double>(n1) * static_cast<double>(n2) *
+                    static_cast<double>(out_est)) /
+          std::pow(static_cast<double>(p), 2.0 / 3.0))) +
+          (n + p - 1) / p);
+  const std::int64_t heavy_row_threshold = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(std::sqrt(
+             static_cast<double>(n2) * static_cast<double>(out_est) *
+             static_cast<double>(L) / static_cast<double>(n1)))));
+
+  // --- Step 1: heavy rows by estimated OUT_a. ---
+  // The heavy set is small (<= sqrt(OUT/L * N1/N2)); broadcast it.
+  std::vector<Value> heavy_rows;
+  for (const auto& [a, out_a] : est->per_source) {
+    if (out_a >= heavy_row_threshold) heavy_rows.push_back(a);
+  }
+  cluster.ChargeUniformRound(static_cast<std::int64_t>(heavy_rows.size()));
+  std::unordered_map<Value, bool> is_heavy_row;
+  for (Value a : heavy_rows) is_heavy_row[a] = true;
+
+  // Split R1 locally (free).
+  DistRelation<S> r1_heavy, r1_light;
+  r1_heavy.schema = r1_light.schema = r1.schema;
+  r1_heavy.data = mpc::Dist<Tuple<S>>(r1.data.num_parts());
+  r1_light.data = mpc::Dist<Tuple<S>>(r1.data.num_parts());
+  for (int s = 0; s < r1.data.num_parts(); ++s) {
+    for (const auto& t : r1.data.part(s)) {
+      const bool heavy = is_heavy_row.count(t.row[m.a_pos]) > 0;
+      (heavy ? r1_heavy : r1_light).data.part(s).push_back(t);
+    }
+  }
+
+  // --- Step 2: heavy rows via one optimal join + aggregation. ---
+  DistRelation<S> heavy_out = empty;
+  if (r1_heavy.TotalSize() > 0) {
+    DistRelation<S> joined = TwoWayJoin(cluster, r1_heavy, r2);
+    heavy_out = AggregateByAttrs(cluster, joined, {m.a, m.c});
+  }
+
+  // --- Step 3a: parallel-pack light rows into groups A_i. ---
+  std::vector<mpc::PackedItem> row_items;
+  {
+    std::unordered_map<Value, bool> seen;
+    r1_light.data.ForEach([&](const Tuple<S>& t) {
+      const Value a = t.row[m.a_pos];
+      if (!seen.emplace(a, true).second) return;
+      const double weight =
+          std::min(1.0, std::max<double>(1.0, static_cast<double>(
+                                                  est->ForValue(a))) /
+                            static_cast<double>(heavy_row_threshold));
+      row_items.push_back({a, weight, -1});
+    });
+  }
+  row_items = mpc::ParallelPacking(cluster, std::move(row_items));
+  std::unordered_map<Value, int> group_of_a;
+  int k1 = 0;
+  for (const auto& item : row_items) {
+    group_of_a[item.id] = item.group;
+    k1 = std::max(k1, item.group + 1);
+  }
+  k1 = std::max(k1, 1);
+
+  // Per-group R1 fragments (local split, free).
+  std::vector<DistRelation<S>> r1_groups(static_cast<size_t>(k1));
+  for (auto& g : r1_groups) {
+    g.schema = r1.schema;
+    g.data = mpc::Dist<Tuple<S>>(r1.data.num_parts());
+  }
+  std::vector<std::int64_t> group_size(static_cast<size_t>(k1), 0);
+  for (int s = 0; s < r1_light.data.num_parts(); ++s) {
+    for (const auto& t : r1_light.data.part(s)) {
+      const int i = group_of_a[t.row[m.a_pos]];
+      r1_groups[static_cast<size_t>(i)].data.part(s).push_back(t);
+      ++group_size[static_cast<size_t>(i)];
+    }
+  }
+
+  // R2 column degrees (bookkeeping for allocations; modeled-linear rounds,
+  // same discipline as parallel packing).
+  std::unordered_map<Value, std::int64_t> deg_c;
+  r2.data.ForEach(
+      [&](const Tuple<S>& t) { deg_c[t.row[m.c_pos]] += 1; });
+  cluster.ChargeUniformRound((n2 + p - 1) / p);
+
+  // --- Steps 3b/4a: per group, estimate per-column output counts, split
+  // heavy columns, and pack light columns into buckets C_ij. ---
+  struct Group {
+    int base = 0;
+    int size = 1;
+  };
+  int next_virtual = 0;
+  auto allocate = [&](std::int64_t work) {
+    Group g;
+    g.size = std::max<int>(1, static_cast<int>((work + L - 1) / L));
+    g.base = next_virtual;
+    next_virtual += g.size;
+    return g;
+  };
+
+  std::vector<std::unordered_map<Value, Group>> heavy_c(
+      static_cast<size_t>(k1));
+  std::vector<std::unordered_map<Value, int>> bucket_of_c(
+      static_cast<size_t>(k1));
+  std::vector<std::vector<Group>> cells(static_cast<size_t>(k1));
+
+  mpc::ParallelRegion group_region(cluster);
+  for (int i = 0; i < k1; ++i) {
+    group_region.NextBranch();
+    const auto& r1_i = r1_groups[static_cast<size_t>(i)];
+    if (group_size[static_cast<size_t>(i)] == 0) continue;
+    // Estimate |π_A σ_{A∈A_i}R1 ⋈ R2(B,c)| per column c (§2.2 chain C-B-A).
+    OutEstimate est_i = EstimateChainOut(
+        cluster, std::vector<DistRelation<S>>{r2, r1_i}, {m.c, m.b, m.a},
+        options.group_estimate_repetitions);
+
+    std::vector<mpc::PackedItem> col_items;
+    for (const auto& [c, cnt] : est_i.per_source) {
+      if (cnt >= L) {
+        heavy_c[static_cast<size_t>(i)][c] = allocate(
+            group_size[static_cast<size_t>(i)] + deg_c[c]);
+      } else {
+        col_items.push_back(
+            {c, std::min(1.0, static_cast<double>(cnt) /
+                                  static_cast<double>(L)),
+             -1});
+      }
+    }
+    col_items = mpc::ParallelPacking(cluster, std::move(col_items));
+    int k2 = 0;
+    std::vector<std::int64_t> bucket_r2_size;
+    for (const auto& item : col_items) {
+      bucket_of_c[static_cast<size_t>(i)][item.id] = item.group;
+      k2 = std::max(k2, item.group + 1);
+    }
+    bucket_r2_size.assign(static_cast<size_t>(std::max(k2, 1)), 0);
+    for (const auto& [c, j] : bucket_of_c[static_cast<size_t>(i)]) {
+      bucket_r2_size[static_cast<size_t>(j)] += deg_c[c];
+    }
+    for (int j = 0; j < k2; ++j) {
+      cells[static_cast<size_t>(i)].push_back(
+          allocate(group_size[static_cast<size_t>(i)] +
+                   bucket_r2_size[static_cast<size_t>(j)]));
+    }
+  }
+  const int num_virtual = std::max(next_virtual, 1);
+
+  // --- Steps 3c/4b: route and compute. ---
+  const std::uint64_t b_seed = cluster.rng().Next();
+  auto b_shard = [&](Value b, const Group& g) {
+    return g.base + static_cast<int>(
+                        Mix64(static_cast<std::uint64_t>(b) ^ b_seed) %
+                        static_cast<std::uint64_t>(g.size));
+  };
+
+  auto r1_routed = mpc::ExchangeMulti(
+      cluster, r1_light.data, num_virtual,
+      [&](const Tuple<S>& t, std::vector<int>* dests) {
+        const Value b = t.row[m.b1_pos];
+        const int i = group_of_a[t.row[m.a_pos]];
+        for (const auto& [c, g] : heavy_c[static_cast<size_t>(i)]) {
+          dests->push_back(b_shard(b, g));
+        }
+        for (const Group& g : cells[static_cast<size_t>(i)]) {
+          dests->push_back(b_shard(b, g));
+        }
+      });
+  auto r2_routed = mpc::ExchangeMulti(
+      cluster, r2.data, num_virtual,
+      [&](const Tuple<S>& t, std::vector<int>* dests) {
+        const Value b = t.row[m.b2_pos];
+        const Value c = t.row[m.c_pos];
+        for (int i = 0; i < k1; ++i) {
+          auto hit = heavy_c[static_cast<size_t>(i)].find(c);
+          if (hit != heavy_c[static_cast<size_t>(i)].end()) {
+            dests->push_back(b_shard(b, hit->second));
+            continue;
+          }
+          auto bit = bucket_of_c[static_cast<size_t>(i)].find(c);
+          if (bit == bucket_of_c[static_cast<size_t>(i)].end()) continue;
+          dests->push_back(
+              b_shard(b, cells[static_cast<size_t>(i)]
+                              [static_cast<size_t>(bit->second)]));
+        }
+      });
+
+  // Single-server cells keep their outputs in place; everything else emits
+  // partials into one global reduce.
+  std::vector<bool> is_final(static_cast<size_t>(num_virtual), false);
+  for (int i = 0; i < k1; ++i) {
+    for (const Group& g : cells[static_cast<size_t>(i)]) {
+      if (g.size == 1) is_final[static_cast<size_t>(g.base)] = true;
+    }
+  }
+
+  DistRelation<S> out;
+  out.schema = Schema{m.a, m.c};
+  out.data = mpc::Dist<Tuple<S>>(p + num_virtual);
+  mpc::Dist<Tuple<S>> partials(num_virtual);
+  ParallelFor(num_virtual, [&](int v) {
+    std::vector<Tuple<S>>* sink = is_final[static_cast<size_t>(v)]
+                                      ? &out.data.part(p + v)
+                                      : &partials.part(v);
+    internal_matmul::LocalJoinAggregateAC(m, r1_routed.part(v),
+                                          r2_routed.part(v), sink);
+  });
+  mpc::Dist<Tuple<S>> reduced = mpc::ReduceByKey(
+      cluster, partials,
+      [](const Tuple<S>& t) -> const Row& { return t.row; },
+      [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
+      p);
+  for (int s = 0; s < p; ++s) out.data.part(s) = std::move(reduced.part(s));
+
+  // Union with the heavy-row results (disjoint classes of a-values).
+  for (int s = 0; s < heavy_out.data.num_parts(); ++s) {
+    auto& dest = out.data.part(s % out.data.num_parts());
+    for (auto& t : heavy_out.data.part(s)) dest.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_ALGORITHMS_MATMUL_OS_H_

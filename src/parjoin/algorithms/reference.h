@@ -1,0 +1,150 @@
+// Single-node reference evaluators: the correctness oracles for every MPC
+// algorithm in the library.
+//
+//  * EvaluateBruteForce — materializes the full join Q(R) and aggregates.
+//    Exponentially explicit, only for tiny instances; used to validate the
+//    reference evaluator itself.
+//  * EvaluateReference — Yannakakis-style variable elimination on the
+//    attribute tree with early aggregation: the message sent up from a
+//    subtree keeps the subtree's output attributes plus the connecting
+//    attribute. Exact for any tree query and any semiring; feasible for
+//    all test/bench sizes.
+//
+// Both ignore the MPC cost model entirely (no cluster involved).
+
+#ifndef PARJOIN_ALGORITHMS_REFERENCE_H_
+#define PARJOIN_ALGORITHMS_REFERENCE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/query/instance.h"
+#include "parjoin/query/join_tree.h"
+#include "parjoin/relation/ops.h"
+#include "parjoin/relation/relation.h"
+
+namespace parjoin {
+
+// ⊕-aggregates `rel` grouped by `group_attrs` (local, exact). Zero-weight
+// groups are kept (Normalize() drops them; callers compare normalized).
+template <SemiringC S>
+Relation<S> LocalAggregate(const Relation<S>& rel,
+                           const std::vector<AttrId>& group_attrs) {
+  const std::vector<int> positions = rel.schema().PositionsOf(group_attrs);
+  std::map<Row, typename S::ValueType> agg;
+  for (const auto& t : rel.tuples()) {
+    Row key = t.row.Select(positions);
+    auto [it, inserted] = agg.emplace(std::move(key), t.w);
+    if (!inserted) it->second = S::Plus(it->second, t.w);
+  }
+  Relation<S> out((Schema(group_attrs)));
+  for (auto& [row, w] : agg) out.Add(row, w);
+  return out;
+}
+
+// Local natural join of two relations (wrapper over the join kernel).
+template <SemiringC S>
+Relation<S> LocalJoin(const Relation<S>& a, const Relation<S>& b) {
+  Relation<S> out(JoinedSchema(a.schema(), b.schema()));
+  LocalJoinInto(a.schema(), a.tuples(), b.schema(), b.tuples(),
+                &out.tuples());
+  return out;
+}
+
+// Full-join materialization evaluator. Relations are joined root-outward
+// so every step shares an attribute with the accumulated join.
+template <SemiringC S>
+Relation<S> EvaluateBruteForce(const JoinTree& query,
+                               const std::vector<Relation<S>>& relations) {
+  CHECK_EQ(static_cast<int>(relations.size()), query.num_edges());
+  const AttrId root = query.attrs().front();
+  auto order = query.BottomUpOrder(root);
+
+  Relation<S> acc;
+  bool first = true;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto& rel = relations[static_cast<size_t>(it->edge_index)];
+    if (first) {
+      acc = rel;
+      first = false;
+    } else {
+      acc = LocalJoin(acc, rel);
+    }
+  }
+  Relation<S> result = LocalAggregate(acc, query.output_attrs());
+  result.Normalize();
+  return result;
+}
+
+// Variable-elimination evaluator. For every edge e = (child c, parent a)
+// in bottom-up order, the message M_e has schema {a} ∪ (output attributes
+// of the subtree under e); non-output attributes are ⊕-aggregated away as
+// soon as their subtree closes.
+template <SemiringC S>
+Relation<S> EvaluateReference(const JoinTree& query,
+                              const std::vector<Relation<S>>& relations) {
+  CHECK_EQ(static_cast<int>(relations.size()), query.num_edges());
+
+  if (query.num_edges() == 1) {
+    Relation<S> result =
+        LocalAggregate(relations[0], query.output_attrs());
+    result.Normalize();
+    return result;
+  }
+
+  // Root at an output attribute when one exists (marginally smaller
+  // messages); correctness does not depend on the choice.
+  AttrId root = query.attrs().front();
+  if (!query.output_attrs().empty()) root = query.output_attrs().front();
+
+  const auto order = query.BottomUpOrder(root);
+  // message[e] = upward message of edge e once processed.
+  std::vector<Relation<S>> message(relations.size());
+
+  for (const auto& re : order) {
+    const AttrId c = re.child_attr;
+    const AttrId a = re.parent_attr;
+    Relation<S> joined = relations[static_cast<size_t>(re.edge_index)];
+    for (int child_edge : query.IncidentEdges(c)) {
+      if (child_edge == re.edge_index) continue;
+      joined = LocalJoin(joined, message[static_cast<size_t>(child_edge)]);
+    }
+    // Keep the parent attribute and every output attribute present.
+    std::vector<AttrId> keep = {a};
+    for (AttrId attr : joined.schema().attrs()) {
+      if (attr != a && query.IsOutput(attr)) keep.push_back(attr);
+    }
+    message[static_cast<size_t>(re.edge_index)] =
+        LocalAggregate(joined, keep);
+  }
+
+  // Combine the root's messages.
+  Relation<S> acc;
+  bool first = true;
+  for (int ei : query.IncidentEdges(root)) {
+    if (first) {
+      acc = message[static_cast<size_t>(ei)];
+      first = false;
+    } else {
+      acc = LocalJoin(acc, message[static_cast<size_t>(ei)]);
+    }
+  }
+  Relation<S> result = LocalAggregate(acc, query.output_attrs());
+  result.Normalize();
+  return result;
+}
+
+// Convenience overloads for distributed instances (materialize locally).
+template <SemiringC S>
+Relation<S> EvaluateReference(const TreeInstance<S>& instance) {
+  std::vector<Relation<S>> local;
+  local.reserve(instance.relations.size());
+  for (const auto& rel : instance.relations) local.push_back(rel.ToLocal());
+  return EvaluateReference(instance.query, local);
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_ALGORITHMS_REFERENCE_H_

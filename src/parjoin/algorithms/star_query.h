@@ -1,0 +1,247 @@
+// Star queries (paper §5):
+//   ∑_B R1(A1,B) ⋈ R2(A2,B) ⋈ ... ⋈ Rn(An,B)
+// with load O((N*OUT/p)^{2/3} + N*sqrt(OUT)/p + (N+OUT)/p) (Theorem 5).
+//
+// The algorithm is oblivious to OUT (OUT appears only in the analysis —
+// computing it for star queries is open). For every value b of the join
+// attribute, the arms are ordered by degree d_1(b) <= ... <= d_n(b); this
+// permutation φ_b partitions dom(B) into at most n! classes B_φ. Within a
+// class, the odd-indexed arms and the even-indexed arms are each joined
+// into one relation (Lemmas 5/6 bound both by N*sqrt(OUT)), the arm
+// attributes are combined, and the subquery becomes one output-sensitive
+// matrix multiplication. A final reduce-by-key merges the n! subqueries.
+
+#ifndef PARJOIN_ALGORITHMS_STAR_QUERY_H_
+#define PARJOIN_ALGORITHMS_STAR_QUERY_H_
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "parjoin/algorithms/matmul.h"
+#include "parjoin/algorithms/two_way_join.h"
+#include "parjoin/common/logging.h"
+#include "parjoin/query/dangling.h"
+#include "parjoin/query/instance.h"
+#include "parjoin/relation/attr_combiner.h"
+#include "parjoin/relation/ops.h"
+
+namespace parjoin {
+
+namespace internal_star {
+
+// Projects every tuple onto `target` (which must be a subset of the
+// schema) — a free local projection used to align result schemas before
+// the final reduce.
+template <SemiringC S>
+DistRelation<S> ProjectLocal(const DistRelation<S>& rel,
+                             const std::vector<AttrId>& target) {
+  const std::vector<int> positions = rel.schema.PositionsOf(target);
+  DistRelation<S> out;
+  out.schema = Schema(target);
+  out.data = mpc::Dist<Tuple<S>>(rel.data.num_parts());
+  for (int s = 0; s < rel.data.num_parts(); ++s) {
+    out.data.part(s).reserve(rel.data.part(s).size());
+    for (const auto& t : rel.data.part(s)) {
+      out.data.part(s).push_back(Tuple<S>{t.row.Select(positions), t.w});
+    }
+  }
+  return out;
+}
+
+// Reduce-by-key union of same-schema result fragments (the final
+// "aggregate all subqueries" step; charged).
+template <SemiringC S>
+DistRelation<S> ReduceUnion(mpc::Cluster& cluster,
+                            std::vector<DistRelation<S>> results,
+                            const Schema& schema) {
+  mpc::Dist<Tuple<S>> merged(0);
+  for (auto& r : results) {
+    CHECK(r.schema == schema);
+    for (auto& part : r.data.parts()) {
+      merged.parts().push_back(std::move(part));
+    }
+  }
+  if (merged.num_parts() == 0) merged = mpc::Dist<Tuple<S>>(cluster.p());
+  DistRelation<S> out;
+  out.schema = schema;
+  out.data = mpc::ReduceByKey(
+      cluster, merged, [](const Tuple<S>& t) -> const Row& { return t.row; },
+      [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
+      cluster.p());
+  return out;
+}
+
+}  // namespace internal_star
+
+// Computes a star query. The instance must classify as kStar (or kMatMul
+// for two arms, handled by dispatch).
+template <SemiringC S>
+DistRelation<S> StarQueryAggregate(mpc::Cluster& cluster,
+                                   TreeInstance<S> instance) {
+  instance.Validate();
+  AttrId center = -1;
+  CHECK(instance.query.IsStarShaped(&center)) << "not a star query";
+  const int n = instance.query.num_edges();
+  CHECK_LE(n, 6) << "star arity is a query constant; >6 unsupported";
+  const std::vector<AttrId> outputs = instance.query.output_attrs();
+
+  if (n == 1) {
+    return AggregateByAttrs(cluster, instance.relations[0], outputs);
+  }
+  RemoveDangling(cluster, &instance);
+  if (n == 2) {
+    MatMulOptions options;
+    options.remove_dangling = false;
+    DistRelation<S> mm = MatMul(cluster, std::move(instance.relations[0]),
+                                std::move(instance.relations[1]), options);
+    return internal_star::ProjectLocal(mm, outputs);
+  }
+
+  const int p = cluster.p();
+  // Arm attribute of relation i.
+  std::vector<AttrId> arm(static_cast<size_t>(n));
+  std::vector<int> b_pos(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    arm[static_cast<size_t>(i)] = instance.query.edge(i).Other(center);
+    b_pos[static_cast<size_t>(i)] =
+        instance.relations[static_cast<size_t>(i)].schema.IndexOf(center);
+  }
+
+  // --- Step 1: co-partition everything by B; per-part degree vectors give
+  // every b its permutation class (as-executed exchanges). ---
+  auto route_b = [&](Value b) {
+    return static_cast<int>(Mix64(static_cast<std::uint64_t>(b) ^ 0x57a7) %
+                            static_cast<std::uint64_t>(p));
+  };
+  std::vector<mpc::Dist<Tuple<S>>> by_b(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    by_b[static_cast<size_t>(i)] = mpc::Exchange(
+        cluster, instance.relations[static_cast<size_t>(i)].data, p,
+        [&](const Tuple<S>& t) {
+          return route_b(t.row[b_pos[static_cast<size_t>(i)]]);
+        });
+  }
+
+  // perm id per b, per part; permutation ids are dense via a global table
+  // (there are at most n! of them; the table itself is O(1)).
+  std::map<std::vector<int>, int> perm_ids;
+  std::vector<std::vector<int>> perm_list;  // id -> degree-sorted arm order
+  std::vector<std::unordered_map<Value, int>> perm_of_b(
+      static_cast<size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    std::unordered_map<Value, std::vector<std::int64_t>> degs;
+    for (int i = 0; i < n; ++i) {
+      for (const auto& t : by_b[static_cast<size_t>(i)].part(s)) {
+        auto& d = degs[t.row[b_pos[static_cast<size_t>(i)]]];
+        if (d.empty()) d.assign(static_cast<size_t>(n), 0);
+        d[static_cast<size_t>(i)] += 1;
+      }
+    }
+    for (const auto& [b, d] : degs) {
+      bool complete = true;
+      for (std::int64_t x : d) {
+        if (x == 0) complete = false;  // dangling leftovers; skip
+      }
+      if (!complete) continue;
+      std::vector<int> order(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+      std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+        return d[static_cast<size_t>(x)] < d[static_cast<size_t>(y)];
+      });
+      auto [it, inserted] =
+          perm_ids.emplace(order, static_cast<int>(perm_ids.size()));
+      if (inserted) perm_list.push_back(order);
+      perm_of_b[static_cast<size_t>(s)][b] = it->second;
+    }
+  }
+
+  // Per-(perm, relation) fragments (local split, free).
+  const int num_perms = static_cast<int>(perm_list.size());
+  std::vector<std::vector<DistRelation<S>>> frag(
+      static_cast<size_t>(num_perms));
+  for (int q = 0; q < num_perms; ++q) {
+    frag[static_cast<size_t>(q)].resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      frag[static_cast<size_t>(q)][static_cast<size_t>(i)].schema =
+          instance.relations[static_cast<size_t>(i)].schema;
+      frag[static_cast<size_t>(q)][static_cast<size_t>(i)].data =
+          mpc::Dist<Tuple<S>>(p);
+    }
+  }
+  for (int s = 0; s < p; ++s) {
+    for (int i = 0; i < n; ++i) {
+      for (auto& t : by_b[static_cast<size_t>(i)].part(s)) {
+        auto it = perm_of_b[static_cast<size_t>(s)].find(
+            t.row[b_pos[static_cast<size_t>(i)]]);
+        if (it == perm_of_b[static_cast<size_t>(s)].end()) continue;
+        frag[static_cast<size_t>(it->second)][static_cast<size_t>(i)]
+            .data.part(s)
+            .push_back(std::move(t));
+      }
+    }
+  }
+
+  // --- Step 2: per permutation class, reduce to matrix multiplication. ---
+  AttrId max_attr = 0;
+  for (AttrId a : instance.query.attrs()) max_attr = std::max(max_attr, a);
+  const AttrId x_odd = max_attr + 1;
+  const AttrId x_even = max_attr + 2;
+
+  std::vector<DistRelation<S>> results;
+  mpc::ParallelRegion perm_region(cluster);
+  for (int q = 0; q < num_perms; ++q) {
+    perm_region.NextBranch();
+    const std::vector<int>& order = perm_list[static_cast<size_t>(q)];
+    std::vector<int> odd_arms, even_arms;
+    for (int i = 0; i < n; ++i) {
+      // order[i] is the arm with the (i+1)-smallest degree; the paper's
+      // odd/even indexing is 1-based over φ.
+      ((i % 2 == 0) ? odd_arms : even_arms).push_back(order[static_cast<size_t>(i)]);
+    }
+
+    auto join_side = [&](const std::vector<int>& arms) {
+      DistRelation<S> acc = frag[static_cast<size_t>(q)]
+                                [static_cast<size_t>(arms[0])];
+      for (size_t k = 1; k < arms.size(); ++k) {
+        acc = TwoWayJoin(
+            cluster, acc,
+            frag[static_cast<size_t>(q)][static_cast<size_t>(arms[k])]);
+      }
+      return acc;
+    };
+    DistRelation<S> odd_rel = join_side(odd_arms);
+    DistRelation<S> even_rel = join_side(even_arms);
+    if (odd_rel.TotalSize() == 0 || even_rel.TotalSize() == 0) continue;
+
+    std::vector<AttrId> odd_attrs, even_attrs;
+    for (int i : odd_arms) odd_attrs.push_back(arm[static_cast<size_t>(i)]);
+    for (int i : even_arms) even_attrs.push_back(arm[static_cast<size_t>(i)]);
+
+    CombinedRelation<S> odd_c =
+        CombineAttrs(cluster, odd_rel, odd_attrs, x_odd);
+    CombinedRelation<S> even_c =
+        CombineAttrs(cluster, even_rel, even_attrs, x_even);
+
+    MatMulOptions options;
+    options.remove_dangling = false;
+    options.strategy = MatMulStrategy::kOutputSensitive;
+    DistRelation<S> mm = MatMul(cluster, std::move(odd_c.binary),
+                                std::move(even_c.binary), options);
+    if (mm.TotalSize() == 0) continue;
+    DistRelation<S> expanded =
+        ExpandAttrs(cluster, mm, odd_c.dictionary, x_odd);
+    expanded = ExpandAttrs(cluster, expanded, even_c.dictionary, x_even);
+    results.push_back(internal_star::ProjectLocal(expanded, outputs));
+  }
+
+  // --- Step 3: aggregate all subqueries. ---
+  return internal_star::ReduceUnion(cluster, std::move(results),
+                                    Schema(outputs));
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_ALGORITHMS_STAR_QUERY_H_

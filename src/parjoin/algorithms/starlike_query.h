@@ -1,0 +1,409 @@
+// Star-like queries (paper §6): n line-query "arms" T_1..T_n sharing one
+// non-output attribute B; arm endpoints A_i are the output attributes.
+// Load O((N*N')^{1/3}*OUT^{1/2}/p^{2/3} + N'^{2/3}*OUT^{1/3}/p^{2/3}
+//        + N*OUT^{2/3}/p + (N+N'+OUT)/p) (Lemma 7); the building block of
+// the §7 tree algorithm.
+//
+// Like the star algorithm, it is oblivious to OUT. Per value b of B, the
+// arms are ordered by their (KMV-estimated) branching d_i(b) = #distinct
+// A_i values reachable from b; the permutation φ_b plus the predicate
+// Π_{i<n} d_φ(i)(b) <= d_φ(n)(b) split dom(B) into "small" and "large"
+// classes (2·n! subqueries):
+//   Q_small: the n-1 low-branching arms are shrunk (Yannakakis folds) and
+//     joined into one combined-attribute relation R(A_small, B); with the
+//     remaining arm this is a LINE query (§4).
+//   Q_large: all arms are shrunk; the index split I = {φ(n), φ(n-3), ...}
+//     (Lemma 11) balances the two sides, whose join sizes are then
+//     <= N*OUT^{2/3}; after uniformizing by the degree of b (log groups,
+//     Step 3.3) each group is one output-sensitive MATRIX MULTIPLICATION.
+
+#ifndef PARJOIN_ALGORITHMS_STARLIKE_QUERY_H_
+#define PARJOIN_ALGORITHMS_STARLIKE_QUERY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "parjoin/algorithms/line_query.h"
+#include "parjoin/algorithms/matmul.h"
+#include "parjoin/algorithms/star_query.h"
+#include "parjoin/algorithms/two_way_join.h"
+#include "parjoin/common/logging.h"
+#include "parjoin/query/dangling.h"
+#include "parjoin/query/instance.h"
+#include "parjoin/relation/attr_combiner.h"
+#include "parjoin/relation/ops.h"
+#include "parjoin/sketch/out_estimate.h"
+
+namespace parjoin {
+
+namespace internal_starlike {
+
+// One arm of a star-like query: edges ordered from B outward, and the
+// attribute path [B, C_1, ..., A_i].
+struct Arm {
+  std::vector<int> edge_indices;
+  std::vector<AttrId> path;
+
+  AttrId endpoint() const { return path.back(); }
+  size_t length() const { return edge_indices.size(); }
+};
+
+// Extracts the arms of a star-like (or star) query around `center`.
+inline std::vector<Arm> ExtractArms(const JoinTree& query, AttrId center) {
+  std::vector<Arm> arms;
+  for (int first_edge : query.IncidentEdges(center)) {
+    Arm arm;
+    arm.path.push_back(center);
+    int edge = first_edge;
+    AttrId prev = center;
+    while (true) {
+      arm.edge_indices.push_back(edge);
+      const AttrId next = query.edge(edge).Other(prev);
+      arm.path.push_back(next);
+      if (query.Degree(next) == 1) break;
+      CHECK_EQ(query.Degree(next), 2) << "arm attr " << next
+                                      << " must be an interior path attr";
+      int next_edge = -1;
+      for (int e : query.IncidentEdges(next)) {
+        if (e != edge) next_edge = e;
+      }
+      edge = next_edge;
+      prev = next;
+    }
+    arms.push_back(std::move(arm));
+  }
+  return arms;
+}
+
+// Folds an arm into a single binary relation R(B, A_i) by Yannakakis
+// steps from the leaf toward B (the §6 "shrink" used in Steps 2.1/3.1).
+// `rels[k]` is the relation of arm.edge_indices[k].
+template <SemiringC S>
+DistRelation<S> ShrinkArm(mpc::Cluster& cluster, const Arm& arm,
+                          std::vector<DistRelation<S>> rels) {
+  const size_t len = arm.length();
+  DistRelation<S> fold = std::move(rels[len - 1]);
+  for (size_t k = len - 1; k-- > 0;) {
+    fold = JoinAggregate(cluster, std::move(rels[k]), fold,
+                         {arm.path[k], arm.endpoint()});
+  }
+  return fold;  // schema contains {B, endpoint}
+}
+
+}  // namespace internal_starlike
+
+// Computes a star-like query (kStarLike). Stars, lines, and matrix
+// multiplications are dispatched to their dedicated algorithms.
+template <SemiringC S>
+DistRelation<S> StarLikeAggregate(mpc::Cluster& cluster,
+                                  TreeInstance<S> instance) {
+  instance.Validate();
+  const QueryShape shape = instance.query.Classify();
+  if (shape == QueryShape::kMatMul || shape == QueryShape::kLine) {
+    return LineQueryAggregate(cluster, std::move(instance));
+  }
+  if (shape == QueryShape::kStar) {
+    return StarQueryAggregate(cluster, std::move(instance));
+  }
+  CHECK(shape == QueryShape::kStarLike)
+      << "unsupported shape " << QueryShapeName(shape) << " for "
+      << instance.query.DebugString();
+
+  const AttrId center = instance.query.HighDegreeAttrs()[0];
+  const std::vector<AttrId> outputs = instance.query.output_attrs();
+  const std::vector<internal_starlike::Arm> arms =
+      internal_starlike::ExtractArms(instance.query, center);
+  const int n = static_cast<int>(arms.size());
+  CHECK_LE(n, 6) << "star-like arity is a query constant; >6 unsupported";
+
+  RemoveDangling(cluster, &instance);
+  std::int64_t n_total = instance.TotalInputSize();
+  if (n_total == 0) {
+    DistRelation<S> empty;
+    empty.schema = Schema(outputs);
+    empty.data = mpc::Dist<Tuple<S>>(cluster.p());
+    return empty;
+  }
+
+  // --- Step 1: per-arm branching estimates d_i(b). ---
+  std::vector<std::unordered_map<Value, std::int64_t>> branching(
+      static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& arm = arms[static_cast<size_t>(i)];
+    if (arm.length() == 1) {
+      // Exact degrees for single-relation arms.
+      mpc::Dist<ValueCount> deg = DegreesByAttr(
+          cluster, instance.relations[static_cast<size_t>(
+                       arm.edge_indices[0])],
+          center);
+      deg.ForEach([&](const ValueCount& vc) {
+        branching[static_cast<size_t>(i)][vc.value] = vc.count;
+      });
+      cluster.ChargeUniformRound((n_total + cluster.p() - 1) / cluster.p());
+    } else {
+      std::vector<DistRelation<S>> chain;
+      for (int e : arm.edge_indices) {
+        chain.push_back(instance.relations[static_cast<size_t>(e)]);
+      }
+      OutEstimate est = EstimateChainOut(cluster, chain, arm.path, 5);
+      branching[static_cast<size_t>(i)] = std::move(est.per_source);
+    }
+  }
+
+  // --- Per-b class: permutation x {small, large}. The class map is made
+  // known cluster-wide (modeled-linear, like parallel packing). ---
+  std::map<std::pair<std::vector<int>, bool>, int> class_ids;
+  std::vector<std::pair<std::vector<int>, bool>> class_list;
+  std::unordered_map<Value, int> class_of_b;
+  for (const auto& [b, d0] : branching[0]) {
+    std::vector<double> d(static_cast<size_t>(n), 0);
+    bool complete = true;
+    for (int i = 0; i < n; ++i) {
+      auto it = branching[static_cast<size_t>(i)].find(b);
+      if (it == branching[static_cast<size_t>(i)].end()) {
+        complete = false;
+        break;
+      }
+      d[static_cast<size_t>(i)] =
+          std::max<double>(1.0, static_cast<double>(it->second));
+    }
+    if (!complete) continue;  // dangling remnant
+    std::vector<int> order(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+      return d[static_cast<size_t>(x)] < d[static_cast<size_t>(y)];
+    });
+    double prefix = 1;
+    for (int i = 0; i + 1 < n; ++i) {
+      prefix *= d[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    }
+    const bool small =
+        prefix <= d[static_cast<size_t>(order[static_cast<size_t>(n) - 1])];
+    auto [it, inserted] = class_ids.emplace(
+        std::make_pair(order, small), static_cast<int>(class_ids.size()));
+    if (inserted) class_list.push_back({order, small});
+    class_of_b[b] = it->second;
+  }
+  cluster.ChargeUniformRound((n_total + cluster.p() - 1) / cluster.p());
+  cluster.ChargeUniformRound((n_total + cluster.p() - 1) / cluster.p());
+
+  // Fresh combined-attribute ids.
+  AttrId max_attr = 0;
+  for (AttrId a : instance.query.attrs()) max_attr = std::max(max_attr, a);
+  const AttrId x_small = max_attr + 1;
+  const AttrId x_i = max_attr + 2;
+  const AttrId x_j = max_attr + 3;
+
+  std::vector<DistRelation<S>> results;
+
+  mpc::ParallelRegion class_region(cluster);
+  for (int cls = 0; cls < static_cast<int>(class_list.size()); ++cls) {
+    class_region.NextBranch();
+    const auto& [order, small] = class_list[static_cast<size_t>(cls)];
+
+    // Build the class sub-instance: B-incident relations filtered to the
+    // class's b values (local filter; the class map is known everywhere).
+    TreeInstance<S> sub{instance.query, instance.relations};
+    for (const auto& arm : arms) {
+      auto& rel = sub.relations[static_cast<size_t>(arm.edge_indices[0])];
+      const int pos = rel.schema.IndexOf(center);
+      for (auto& part : rel.data.parts()) {
+        std::vector<Tuple<S>> kept;
+        for (auto& t : part) {
+          auto it = class_of_b.find(t.row[pos]);
+          if (it != class_of_b.end() && it->second == cls) {
+            kept.push_back(std::move(t));
+          }
+        }
+        part = std::move(kept);
+      }
+    }
+    {
+      bool any = false;
+      for (const auto& arm : arms) {
+        if (sub.relations[static_cast<size_t>(arm.edge_indices[0])]
+                .TotalSize() > 0) {
+          any = true;
+        }
+      }
+      if (!any) continue;
+    }
+    RemoveDangling(cluster, &sub);
+    if (sub.relations[static_cast<size_t>(arms[0].edge_indices[0])]
+            .TotalSize() == 0) {
+      continue;
+    }
+
+    auto shrink = [&](int arm_idx) {
+      const auto& arm = arms[static_cast<size_t>(arm_idx)];
+      std::vector<DistRelation<S>> rels;
+      for (int e : arm.edge_indices) {
+        rels.push_back(sub.relations[static_cast<size_t>(e)]);
+      }
+      return internal_starlike::ShrinkArm(cluster, arm, std::move(rels));
+    };
+
+    if (small) {
+      // --- Step 2: shrink arms φ(1..n-1), join them, reduce to a line
+      // query with the remaining arm. ---
+      DistRelation<S> acc = shrink(order[0]);
+      for (int i = 1; i + 1 < n; ++i) {
+        acc = TwoWayJoin(cluster, acc, shrink(order[static_cast<size_t>(i)]));
+      }
+      if (acc.TotalSize() == 0) continue;
+      std::vector<AttrId> small_attrs;
+      for (int i = 0; i + 1 < n; ++i) {
+        small_attrs.push_back(
+            arms[static_cast<size_t>(order[static_cast<size_t>(i)])]
+                .endpoint());
+      }
+      CombinedRelation<S> combined =
+          CombineAttrs(cluster, acc, small_attrs, x_small);
+
+      const auto& last_arm =
+          arms[static_cast<size_t>(order[static_cast<size_t>(n) - 1])];
+      std::vector<QueryEdge> line_edges = {{x_small, center}};
+      std::vector<DistRelation<S>> line_rels;
+      line_rels.push_back(std::move(combined.binary));
+      for (size_t k = 0; k < last_arm.length(); ++k) {
+        line_edges.push_back(
+            {last_arm.path[k], last_arm.path[k + 1]});
+        line_rels.push_back(
+            sub.relations[static_cast<size_t>(last_arm.edge_indices[k])]);
+      }
+      TreeInstance<S> line_instance{
+          JoinTree(line_edges, {x_small, last_arm.endpoint()}),
+          std::move(line_rels)};
+      DistRelation<S> line_result =
+          LineQueryAggregate(cluster, std::move(line_instance));
+      if (line_result.TotalSize() == 0) continue;
+      DistRelation<S> expanded =
+          ExpandAttrs(cluster, line_result, combined.dictionary, x_small);
+      results.push_back(internal_star::ProjectLocal(expanded, outputs));
+    } else {
+      // --- Step 3: shrink all arms; split indices I = {φ(n), φ(n-3), ...}
+      // (Lemma 11); join each side; uniformize by degree; per-group
+      // output-sensitive matrix multiplications. ---
+      std::vector<int> side_i, side_j;
+      {
+        std::vector<bool> in_i(static_cast<size_t>(n), false);
+        for (int k = n - 1; k >= 0; k -= 3) in_i[static_cast<size_t>(k)] = true;
+        for (int k = 0; k < n; ++k) {
+          (in_i[static_cast<size_t>(k)] ? side_i : side_j)
+              .push_back(order[static_cast<size_t>(k)]);
+        }
+      }
+      if (side_j.empty()) {
+        // n <= 1 cannot happen for star-like; guard regardless.
+        side_j.push_back(side_i.back());
+        side_i.pop_back();
+      }
+      auto join_side = [&](const std::vector<int>& side) {
+        DistRelation<S> acc = shrink(side[0]);
+        for (size_t k = 1; k < side.size(); ++k) {
+          acc = TwoWayJoin(cluster, acc,
+                           shrink(side[static_cast<size_t>(k)]));
+        }
+        return acc;
+      };
+      DistRelation<S> rel_i = join_side(side_i);
+      DistRelation<S> rel_j = join_side(side_j);
+      if (rel_i.TotalSize() == 0 || rel_j.TotalSize() == 0) continue;
+
+      std::vector<AttrId> attrs_i, attrs_j;
+      for (int k : side_i) {
+        attrs_i.push_back(arms[static_cast<size_t>(k)].endpoint());
+      }
+      for (int k : side_j) {
+        attrs_j.push_back(arms[static_cast<size_t>(k)].endpoint());
+      }
+      CombinedRelation<S> comb_i = CombineAttrs(cluster, rel_i, attrs_i, x_i);
+      CombinedRelation<S> comb_j = CombineAttrs(cluster, rel_j, attrs_j, x_j);
+
+      // Step 3.3: uniformize by the degree of b in R(X_I, B): log groups.
+      // Degrees and relations are co-partitioned by b (as-executed).
+      const int p = cluster.p();
+      auto route_b = [&](Value b) {
+        return static_cast<int>(
+            Mix64(static_cast<std::uint64_t>(b) ^ 0x10f2) %
+            static_cast<std::uint64_t>(p));
+      };
+      mpc::Dist<ValueCount> deg_b =
+          DegreesByAttr(cluster, comb_i.binary, center);
+      mpc::Dist<ValueCount> deg_parted = mpc::Exchange(
+          cluster, deg_b, p,
+          [&](const ValueCount& vc) { return route_b(vc.value); });
+      const int bi_pos = comb_i.binary.schema.IndexOf(center);
+      const int bj_pos = comb_j.binary.schema.IndexOf(center);
+      auto i_parted = mpc::Exchange(
+          cluster, comb_i.binary.data, p,
+          [&](const Tuple<S>& t) { return route_b(t.row[bi_pos]); });
+      auto j_parted = mpc::Exchange(
+          cluster, comb_j.binary.data, p,
+          [&](const Tuple<S>& t) { return route_b(t.row[bj_pos]); });
+
+      constexpr int kMaxLogGroups = 48;
+      std::vector<DistRelation<S>> gi(kMaxLogGroups), gj(kMaxLogGroups);
+      for (int g = 0; g < kMaxLogGroups; ++g) {
+        gi[static_cast<size_t>(g)].schema = comb_i.binary.schema;
+        gi[static_cast<size_t>(g)].data = mpc::Dist<Tuple<S>>(p);
+        gj[static_cast<size_t>(g)].schema = comb_j.binary.schema;
+        gj[static_cast<size_t>(g)].data = mpc::Dist<Tuple<S>>(p);
+      }
+      for (int s = 0; s < p; ++s) {
+        std::unordered_map<Value, int> group_of;
+        for (const auto& vc : deg_parted.part(s)) {
+          int g = 0;
+          while ((std::int64_t{1} << (g + 1)) <= vc.count &&
+                 g + 1 < kMaxLogGroups) {
+            ++g;
+          }
+          group_of[vc.value] = g;
+        }
+        for (auto& t : i_parted.part(s)) {
+          auto it = group_of.find(t.row[bi_pos]);
+          if (it == group_of.end()) continue;
+          gi[static_cast<size_t>(it->second)].data.part(s).push_back(
+              std::move(t));
+        }
+        for (auto& t : j_parted.part(s)) {
+          auto it = group_of.find(t.row[bj_pos]);
+          if (it == group_of.end()) continue;
+          gj[static_cast<size_t>(it->second)].data.part(s).push_back(
+              std::move(t));
+        }
+      }
+
+      mpc::ParallelRegion loggroup_region(cluster);
+      for (int g = 0; g < kMaxLogGroups; ++g) {
+        loggroup_region.NextBranch();
+        if (gi[static_cast<size_t>(g)].TotalSize() == 0 ||
+            gj[static_cast<size_t>(g)].TotalSize() == 0) {
+          continue;
+        }
+        MatMulOptions options;
+        options.remove_dangling = true;  // groups may misalign across sides
+        options.strategy = MatMulStrategy::kOutputSensitive;
+        DistRelation<S> mm =
+            MatMul(cluster, std::move(gi[static_cast<size_t>(g)]),
+                   std::move(gj[static_cast<size_t>(g)]), options);
+        if (mm.TotalSize() == 0) continue;
+        DistRelation<S> expanded =
+            ExpandAttrs(cluster, mm, comb_i.dictionary, x_i);
+        expanded = ExpandAttrs(cluster, expanded, comb_j.dictionary, x_j);
+        results.push_back(internal_star::ProjectLocal(expanded, outputs));
+      }
+    }
+  }
+
+  return internal_star::ReduceUnion(cluster, std::move(results),
+                                    Schema(outputs));
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_ALGORITHMS_STARLIKE_QUERY_H_

@@ -1,0 +1,54 @@
+// Seeded 64-bit hashing utilities.
+//
+// The MPC primitives and the KMV sketch need families of hash functions that
+// are (a) fast, (b) well mixed, and (c) reproducible from a seed. We use
+// multiply-xor mixing in the style of MurmurHash3's finalizer, keyed by a
+// per-instance seed expanded through SplitMix64.
+
+#ifndef PARJOIN_COMMON_HASH_H_
+#define PARJOIN_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "parjoin/common/random.h"
+
+namespace parjoin {
+
+// MurmurHash3 64-bit finalizer; a strong bijective mixer.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Combines an accumulated hash with the hash of one more value.
+inline std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
+  return Mix64(h ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+// A seeded hash function over 64-bit keys. Different seeds give (for our
+// purposes) independent functions; used by KMV repetitions and exchange
+// partitioning.
+class SeededHash {
+ public:
+  explicit SeededHash(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    k0_ = SplitMix64(sm);
+    k1_ = SplitMix64(sm);
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    return Mix64((x + k0_) * 0x9e3779b97f4a7c15ULL ^ k1_);
+  }
+
+ private:
+  std::uint64_t k0_;
+  std::uint64_t k1_;
+};
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_COMMON_HASH_H_

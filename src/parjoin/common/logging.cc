@@ -1,0 +1,71 @@
+#include "parjoin/common/logging.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace parjoin {
+namespace internal_logging {
+namespace {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "I";
+    case Severity::kWarning:
+      return "W";
+    case Severity::kError:
+      return "E";
+    case Severity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+Severity MinLogSeverity() {
+  static Severity min_severity = [] {
+    const char* env = std::getenv("PARJOIN_LOG_LEVEL");
+    if (env == nullptr) return Severity::kInfo;
+    switch (std::atoi(env)) {
+      case 1:
+        return Severity::kWarning;
+      case 2:
+        return Severity::kError;
+      case 3:
+        return Severity::kFatal;
+      default:
+        return Severity::kInfo;
+    }
+  }();
+  return min_severity;
+}
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity) {
+  // Strip the directory prefix for readability.
+  const char* base = file;
+  for (const char* c = file; *c != '\0'; ++c) {
+    if (*c == '/') base = c + 1;
+  }
+  stream_ << "[" << SeverityName(severity) << " " << base << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == Severity::kFatal) {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == Severity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace parjoin

@@ -1,0 +1,90 @@
+// Minimal logging and assertion macros in the spirit of glog.
+//
+// LOG(INFO) << "message";          stream-style logging with severity.
+// CHECK(cond) << "detail";         aborts with a message when cond is false.
+// CHECK_EQ/NE/LT/LE/GT/GE(a, b)    comparison checks printing both operands.
+//
+// CHECK macros are always on (they guard internal invariants of the library,
+// not user input validation). They abort via std::abort after flushing the
+// diagnostic to stderr.
+
+#ifndef PARJOIN_COMMON_LOGGING_H_
+#define PARJOIN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace parjoin {
+namespace internal_logging {
+
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+// Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+// Helper that swallows the stream when a CHECK passes; keeps the macro an
+// expression with no dangling-else pitfalls.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+// Returns the minimum severity that is actually emitted. Controlled by the
+// PARJOIN_LOG_LEVEL environment variable (0=INFO .. 3=FATAL); default INFO.
+Severity MinLogSeverity();
+
+}  // namespace internal_logging
+}  // namespace parjoin
+
+#define PARJOIN_LOG_INFO \
+  ::parjoin::internal_logging::LogMessage( \
+      ::parjoin::internal_logging::Severity::kInfo, __FILE__, __LINE__)
+#define PARJOIN_LOG_WARNING \
+  ::parjoin::internal_logging::LogMessage( \
+      ::parjoin::internal_logging::Severity::kWarning, __FILE__, __LINE__)
+#define PARJOIN_LOG_ERROR \
+  ::parjoin::internal_logging::LogMessage( \
+      ::parjoin::internal_logging::Severity::kError, __FILE__, __LINE__)
+#define PARJOIN_LOG_FATAL \
+  ::parjoin::internal_logging::LogMessage( \
+      ::parjoin::internal_logging::Severity::kFatal, __FILE__, __LINE__)
+
+#define LOG(severity) PARJOIN_LOG_##severity.stream()
+
+#define CHECK(condition)                                        \
+  (condition) ? (void)0                                         \
+              : ::parjoin::internal_logging::LogMessageVoidify() & \
+                    PARJOIN_LOG_FATAL.stream()                  \
+                        << "Check failed: " #condition " "
+
+#define PARJOIN_CHECK_OP(name, op, a, b)                             \
+  ((a)op(b)) ? (void)0                                               \
+             : ::parjoin::internal_logging::LogMessageVoidify() &    \
+                   PARJOIN_LOG_FATAL.stream()                        \
+                       << "Check failed: " #a " " #op " " #b " ("    \
+                       << (a) << " vs. " << (b) << ") "
+
+#define CHECK_EQ(a, b) PARJOIN_CHECK_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) PARJOIN_CHECK_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) PARJOIN_CHECK_OP(LT, <, a, b)
+#define CHECK_LE(a, b) PARJOIN_CHECK_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) PARJOIN_CHECK_OP(GT, >, a, b)
+#define CHECK_GE(a, b) PARJOIN_CHECK_OP(GE, >=, a, b)
+
+#endif  // PARJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,19 @@
+#include "parjoin/common/parallel_for.h"
+
+#include <algorithm>
+
+namespace parjoin {
+
+int ParallelForThreads() {
+  static const int threads = [] {
+    if (const char* env = std::getenv("PARJOIN_THREADS")) {
+      const int requested = std::atoi(env);
+      return std::max(1, requested);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1, static_cast<int>(hw));
+  }();
+  return threads;
+}
+
+}  // namespace parjoin

@@ -1,0 +1,113 @@
+// Exchange: the single communication step of the MPC model.
+//
+// Every server inspects its local items and addresses each to one (or, for
+// replication, several) destination servers; the cluster delivers them and
+// charges each destination the number of tuples it received. All
+// higher-level primitives and algorithms move data exclusively through the
+// functions in this header, so the Cluster ledger sees every tuple that
+// crosses a server boundary.
+
+#ifndef PARJOIN_MPC_EXCHANGE_H_
+#define PARJOIN_MPC_EXCHANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/mpc/dist.h"
+
+namespace parjoin {
+namespace mpc {
+
+// One round: routes every item to route(item) in [0, num_dest_parts).
+// Destinations beyond p are virtual servers (charged to v mod p).
+template <typename T, typename Route>
+Dist<T> Exchange(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
+                 Route route) {
+  CHECK_GT(num_dest_parts, 0);
+  Dist<T> out(num_dest_parts);
+  std::vector<std::int64_t> received(static_cast<size_t>(num_dest_parts), 0);
+  for (const auto& part : in.parts()) {
+    for (const auto& item : part) {
+      const int dest = route(item);
+      CHECK_GE(dest, 0);
+      CHECK_LT(dest, num_dest_parts);
+      out.part(dest).push_back(item);
+      received[static_cast<size_t>(dest)] += 1;
+    }
+  }
+  cluster.ChargeRound(received);
+  return out;
+}
+
+// One round with replication: route_multi(item, &dests) appends every
+// destination the item should reach. Used for broadcast-style steps
+// (e.g. replicating one side of a heavy join across a server group).
+template <typename T, typename RouteMulti>
+Dist<T> ExchangeMulti(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
+                      RouteMulti route_multi) {
+  CHECK_GT(num_dest_parts, 0);
+  Dist<T> out(num_dest_parts);
+  std::vector<std::int64_t> received(static_cast<size_t>(num_dest_parts), 0);
+  std::vector<int> dests;
+  for (const auto& part : in.parts()) {
+    for (const auto& item : part) {
+      dests.clear();
+      route_multi(item, &dests);
+      for (int dest : dests) {
+        CHECK_GE(dest, 0);
+        CHECK_LT(dest, num_dest_parts);
+        out.part(dest).push_back(item);
+        received[static_cast<size_t>(dest)] += 1;
+      }
+    }
+  }
+  cluster.ChargeRound(received);
+  return out;
+}
+
+// Sends every item to the single (virtual) server `dest_part`.
+template <typename T>
+std::vector<T> Gather(Cluster& cluster, const Dist<T>& in, int dest_part = 0) {
+  std::vector<std::int64_t> received(
+      static_cast<size_t>(std::max(dest_part + 1, 1)), 0);
+  std::vector<T> out = in.Flatten();
+  received[static_cast<size_t>(dest_part)] =
+      static_cast<std::int64_t>(out.size());
+  cluster.ChargeRound(received);
+  return out;
+}
+
+// Broadcast: every one of the cluster's p servers receives all items.
+// Load: TotalSize() per server, one round.
+template <typename T>
+Dist<T> Broadcast(Cluster& cluster, const Dist<T>& in) {
+  std::vector<T> all = in.Flatten();
+  Dist<T> out(cluster.p());
+  std::vector<std::int64_t> received(static_cast<size_t>(cluster.p()),
+                                     static_cast<std::int64_t>(all.size()));
+  for (int s = 0; s < cluster.p(); ++s) out.part(s) = all;
+  cluster.ChargeRound(received);
+  return out;
+}
+
+// Rebalances items into `num_parts` equal chunks (a "shuffle to even out"
+// round, load ceil(N/num_parts) per server).
+template <typename T>
+Dist<T> Rebalance(Cluster& cluster, const Dist<T>& in, int num_parts) {
+  std::vector<T> all = in.Flatten();
+  Dist<T> out = ScatterEvenly(std::move(all), num_parts);
+  std::vector<std::int64_t> received(static_cast<size_t>(num_parts), 0);
+  for (int s = 0; s < num_parts; ++s) {
+    received[static_cast<size_t>(s)] =
+        static_cast<std::int64_t>(out.part(s).size());
+  }
+  cluster.ChargeRound(received);
+  return out;
+}
+
+}  // namespace mpc
+}  // namespace parjoin
+
+#endif  // PARJOIN_MPC_EXCHANGE_H_

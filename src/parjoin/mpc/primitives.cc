@@ -1,0 +1,27 @@
+#include "parjoin/mpc/primitives.h"
+
+#include <algorithm>
+
+namespace parjoin {
+namespace mpc {
+
+std::vector<std::int64_t> MultiSearch(Cluster& cluster,
+                                      const std::vector<std::int64_t>& xs,
+                                      std::vector<std::int64_t> ys) {
+  const std::int64_t n =
+      static_cast<std::int64_t>(xs.size() + ys.size());
+  cluster.ChargeUniformRound((n + cluster.p() - 1) / cluster.p());
+  cluster.ChargeUniformRound((n + cluster.p() - 1) / cluster.p());
+
+  std::sort(ys.begin(), ys.end());
+  std::vector<std::int64_t> out;
+  out.reserve(xs.size());
+  for (std::int64_t x : xs) {
+    auto it = std::upper_bound(ys.begin(), ys.end(), x);
+    out.push_back(it == ys.begin() ? kNoPredecessor : *(it - 1));
+  }
+  return out;
+}
+
+}  // namespace mpc
+}  // namespace parjoin

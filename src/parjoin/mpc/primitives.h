@@ -1,0 +1,216 @@
+// Deterministic MPC primitives (paper §2.1). All run in O(1) rounds with
+// load O(N/p) for input size N, assuming N >= p^{1+eps}.
+//
+// Charging discipline: every primitive documents whether its cost is
+//  * as-executed — the simulator moves the data and charges exactly what
+//    each server receives; or
+//  * modeled-linear — the known distributed realization has linear load
+//    (citations in the paper), the simulator computes the answer centrally
+//    and charges ceil(N/p) per server per round for the documented number
+//    of rounds. Used only where the distributed-internal bookkeeping adds
+//    nothing to the measured comparison (e.g. parallel packing).
+
+#ifndef PARJOIN_MPC_PRIMITIVES_H_
+#define PARJOIN_MPC_PRIMITIVES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/mpc/dist.h"
+#include "parjoin/mpc/exchange.h"
+
+namespace parjoin {
+namespace mpc {
+
+// --- Sorting [Goodrich '99] -------------------------------------------------
+//
+// Redistributes items so that part i holds the i-th contiguous chunk of the
+// globally sorted order, chunks of size ceil(N/num_parts). As-executed
+// charge: each part receives its chunk (one round; the real algorithm's
+// splitter-sampling rounds move asymptotically less data).
+template <typename T, typename Less>
+Dist<T> Sort(Cluster& cluster, const Dist<T>& in, Less less,
+             int num_parts = 0) {
+  if (num_parts == 0) num_parts = cluster.p();
+  std::vector<T> all = in.Flatten();
+  std::stable_sort(all.begin(), all.end(), less);
+  Dist<T> out = ScatterEvenly(std::move(all), num_parts);
+  std::vector<std::int64_t> received(static_cast<size_t>(num_parts), 0);
+  for (int s = 0; s < num_parts; ++s) {
+    received[static_cast<size_t>(s)] =
+        static_cast<std::int64_t>(out.part(s).size());
+  }
+  cluster.ChargeRound(received);
+  return out;
+}
+
+// Sorts by a key projection and then moves every run of equal keys entirely
+// onto the part where the run begins (the paper's "tuples with the same
+// value land on the same server or two consecutive servers; in the latter
+// case use another round" fix, generalized to runs spanning several parts).
+// As-executed: the sort round plus one fix round charging the moved tuples.
+// Only sensible when every key group fits on a server (callers guarantee
+// this, e.g. LinearSparseMM where degrees are < N/p).
+template <typename T, typename KeyFn>
+Dist<T> SortGroupedByKey(Cluster& cluster, const Dist<T>& in, KeyFn key_fn,
+                         int num_parts = 0) {
+  if (num_parts == 0) num_parts = cluster.p();
+  using Key = decltype(key_fn(std::declval<const T&>()));
+  Dist<T> sorted = Sort(
+      cluster, in,
+      [&](const T& a, const T& b) { return key_fn(a) < key_fn(b); },
+      num_parts);
+
+  // Fix round: a key run that starts in part s is moved entirely to part s.
+  std::vector<std::int64_t> received(static_cast<size_t>(num_parts), 0);
+  Dist<T> out(num_parts);
+  int run_home = -1;
+  bool have_prev = false;
+  Key prev_key{};
+  for (int s = 0; s < num_parts; ++s) {
+    for (auto& item : sorted.part(s)) {
+      const Key k = key_fn(item);
+      if (!have_prev || !(prev_key == k)) {
+        run_home = s;  // new run starts here
+        have_prev = true;
+        prev_key = k;
+      }
+      if (run_home != s) received[static_cast<size_t>(run_home)] += 1;
+      out.part(run_home).push_back(std::move(item));
+    }
+  }
+  cluster.ChargeRound(received);
+  return out;
+}
+
+// --- Reduce-by-key [Hu, Tao, Yi '17] ---------------------------------------
+//
+// Computes the "sum" (any associative, commutative combine) of values per
+// key. As-executed: local pre-aggregation (free), a sort of the
+// pre-aggregated items (load M/num_parts for M <= N locally-distinct
+// items), and a boundary-merge fix round.
+//
+// KeyFn:      T -> K (K ordered and equality-comparable)
+// CombineFn:  (T* accumulator, const T& item) merges item into accumulator.
+template <typename T, typename KeyFn, typename CombineFn>
+Dist<T> ReduceByKey(Cluster& cluster, const Dist<T>& in, KeyFn key_fn,
+                    CombineFn combine, int num_parts = 0) {
+  if (num_parts == 0) num_parts = cluster.p();
+
+  // Local pre-aggregation: sort each part by key, combine adjacent equals.
+  Dist<T> pre(in.num_parts());
+  for (int s = 0; s < in.num_parts(); ++s) {
+    std::vector<T> local = in.part(s);
+    std::stable_sort(local.begin(), local.end(),
+                     [&](const T& a, const T& b) {
+                       return key_fn(a) < key_fn(b);
+                     });
+    auto& out_part = pre.part(s);
+    for (auto& item : local) {
+      if (!out_part.empty() && key_fn(out_part.back()) == key_fn(item)) {
+        combine(&out_part.back(), item);
+      } else {
+        out_part.push_back(std::move(item));
+      }
+    }
+  }
+
+  // Global sort of pre-aggregated items.
+  Dist<T> sorted = Sort(
+      cluster, pre,
+      [&](const T& a, const T& b) { return key_fn(a) < key_fn(b); },
+      num_parts);
+
+  // Combine adjacent equals within parts; fix key runs spanning a boundary
+  // by shipping the continuation to the part where the run started.
+  std::vector<std::int64_t> received(static_cast<size_t>(num_parts), 0);
+  Dist<T> out(num_parts);
+  for (int s = 0; s < num_parts; ++s) {
+    for (auto& item : sorted.part(s)) {
+      // Find the current tail of the output (may live in an earlier part).
+      T* tail = nullptr;
+      int tail_part = -1;
+      for (int t = s; t >= 0; --t) {
+        if (!out.part(t).empty()) {
+          tail = &out.part(t).back();
+          tail_part = t;
+          break;
+        }
+      }
+      if (tail != nullptr && key_fn(*tail) == key_fn(item)) {
+        if (tail_part != s) received[static_cast<size_t>(tail_part)] += 1;
+        combine(tail, item);
+      } else {
+        out.part(s).push_back(std::move(item));
+      }
+    }
+  }
+  cluster.ChargeRound(received);
+  return out;
+}
+
+// --- Parallel packing [Hu & Yi '19] ----------------------------------------
+//
+// Given weights 0 < w_i <= 1, groups the ids into m sets with per-set sum
+// <= 1 and (all but one set) sum >= 1/2; m <= 1 + 2*sum(w). Modeled-linear:
+// the answer is computed centrally and two rounds of ceil(N/p) are charged
+// (the distributed realization is a prefix-sum + interval assignment).
+// Returns group ids aligned with `items`; ids are dense in [0, m).
+struct PackedItem {
+  std::int64_t id = 0;
+  double weight = 0;
+  int group = -1;
+};
+
+inline std::vector<PackedItem> ParallelPacking(
+    Cluster& cluster, std::vector<PackedItem> items) {
+  const std::int64_t n = static_cast<std::int64_t>(items.size());
+  cluster.ChargeUniformRound((n + cluster.p() - 1) / cluster.p());
+  cluster.ChargeUniformRound((n + cluster.p() - 1) / cluster.p());
+
+  std::stable_sort(items.begin(), items.end(),
+                   [](const PackedItem& a, const PackedItem& b) {
+                     return a.weight > b.weight;
+                   });
+  int next_group = 0;
+  double current_sum = 0;
+  int current_group = -1;
+  for (auto& item : items) {
+    CHECK_GT(item.weight, 0.0);
+    CHECK_LE(item.weight, 1.0 + 1e-12);
+    if (item.weight >= 0.5) {
+      item.group = next_group++;
+      continue;
+    }
+    if (current_group < 0 || current_sum + item.weight > 1.0) {
+      current_group = next_group++;
+      current_sum = 0;
+    }
+    item.group = current_group;
+    current_sum += item.weight;
+    if (current_sum > 0.5) current_group = -1;  // group is full enough
+  }
+  return items;
+}
+
+// --- Multi-search / predecessor [Hu, Tao, Yi '17] ---------------------------
+//
+// For each x in X, finds the largest y in Y with y <= x (or kNoPredecessor).
+// Modeled-linear: two rounds of ceil((|X|+|Y|)/p). (The distributed
+// realization co-sorts X and Y and propagates run heads.)
+inline constexpr std::int64_t kNoPredecessor =
+    std::numeric_limits<std::int64_t>::min();
+
+std::vector<std::int64_t> MultiSearch(Cluster& cluster,
+                                      const std::vector<std::int64_t>& xs,
+                                      std::vector<std::int64_t> ys);
+
+}  // namespace mpc
+}  // namespace parjoin
+
+#endif  // PARJOIN_MPC_PRIMITIVES_H_

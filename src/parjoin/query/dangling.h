@@ -1,0 +1,54 @@
+// Dangling-tuple removal (§2.1, [Yannakakis '81; Hu & Yi '19]).
+//
+// A tuple is dangling if it appears in no full join result. For an acyclic
+// join, a bottom-up pass of semijoins followed by a top-down pass removes
+// every dangling tuple, in O(1) rounds (the query size is constant) with
+// linear load. Every algorithm in the library starts with this step.
+
+#ifndef PARJOIN_QUERY_DANGLING_H_
+#define PARJOIN_QUERY_DANGLING_H_
+
+#include <vector>
+
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/query/instance.h"
+#include "parjoin/relation/ops.h"
+
+namespace parjoin {
+
+// Removes all dangling tuples in place. The traversal is rooted at an
+// arbitrary attribute (the first one).
+template <SemiringC S>
+void RemoveDangling(mpc::Cluster& cluster, TreeInstance<S>* instance) {
+  const JoinTree& q = instance->query;
+  if (q.num_edges() == 1) return;
+  const AttrId root = q.attrs().front();
+  const auto order = q.BottomUpOrder(root);
+
+  // Bottom-up: when edge e = (child c, parent a) is processed, every edge
+  // hanging below c has been processed; semijoin R_e with each of them on
+  // their shared attribute c.
+  for (const auto& re : order) {
+    auto& rel = instance->relations[static_cast<size_t>(re.edge_index)];
+    for (int child_edge : q.IncidentEdges(re.child_attr)) {
+      if (child_edge == re.edge_index) continue;
+      rel = Semijoin(cluster, rel,
+                     instance->relations[static_cast<size_t>(child_edge)]);
+    }
+  }
+
+  // Top-down: parent edges filter their children.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto& parent_rel =
+        instance->relations[static_cast<size_t>(it->edge_index)];
+    for (int child_edge : q.IncidentEdges(it->child_attr)) {
+      if (child_edge == it->edge_index) continue;
+      auto& child_rel = instance->relations[static_cast<size_t>(child_edge)];
+      child_rel = Semijoin(cluster, child_rel, parent_rel);
+    }
+  }
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_QUERY_DANGLING_H_

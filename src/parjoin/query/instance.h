@@ -1,0 +1,45 @@
+// TreeInstance: a JoinTree paired with one distributed annotated relation
+// per edge — the unit every algorithm in src/parjoin/algorithms consumes.
+
+#ifndef PARJOIN_QUERY_INSTANCE_H_
+#define PARJOIN_QUERY_INSTANCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/query/join_tree.h"
+#include "parjoin/relation/relation.h"
+
+namespace parjoin {
+
+template <SemiringC S>
+struct TreeInstance {
+  JoinTree query;
+  // relations[i] corresponds to query.edge(i); its schema must be exactly
+  // {edge.u, edge.v} (in either order).
+  std::vector<DistRelation<S>> relations;
+
+  std::int64_t TotalInputSize() const {
+    std::int64_t n = 0;
+    for (const auto& rel : relations) n += rel.TotalSize();
+    return n;
+  }
+
+  void Validate() const {
+    CHECK_EQ(static_cast<int>(relations.size()), query.num_edges());
+    for (int i = 0; i < query.num_edges(); ++i) {
+      const auto& schema = relations[static_cast<size_t>(i)].schema;
+      CHECK_EQ(schema.size(), 2);
+      const QueryEdge& e = query.edge(i);
+      CHECK(schema.Contains(e.u))
+          << "relation " << i << " missing attribute " << e.u;
+      CHECK(schema.Contains(e.v))
+          << "relation " << i << " missing attribute " << e.v;
+    }
+  }
+};
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_QUERY_INSTANCE_H_

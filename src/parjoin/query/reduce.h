@@ -1,0 +1,79 @@
+// Query reduction (§7 preprocessing).
+//
+// Iteratively removes a relation R_e when some non-output attribute v
+// appears only in e: the ⊕-aggregate of R_e per shared attribute value is
+// ⊗-attached to a neighbouring relation, and e disappears from the tree.
+// After the reduction every leaf attribute of the query is an output
+// attribute (Figure 2, middle). All steps are linear-load primitives.
+
+#ifndef PARJOIN_QUERY_REDUCE_H_
+#define PARJOIN_QUERY_REDUCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/query/instance.h"
+#include "parjoin/relation/ops.h"
+
+namespace parjoin {
+
+// Applies the reduction in place. Stops when no rule applies or only one
+// relation remains (a single-edge query is handled directly by the
+// algorithms regardless of its output attributes).
+template <SemiringC S>
+void ReduceInstance(mpc::Cluster& cluster, TreeInstance<S>* instance) {
+  while (instance->query.num_edges() > 1) {
+    const JoinTree& q = instance->query;
+
+    // Find an edge with a private non-output endpoint.
+    int fold_edge = -1;
+    AttrId private_attr = -1;
+    for (int i = 0; i < q.num_edges() && fold_edge < 0; ++i) {
+      for (AttrId a : {q.edge(i).u, q.edge(i).v}) {
+        if (!q.IsOutput(a) && q.Degree(a) == 1) {
+          fold_edge = i;
+          private_attr = a;
+          break;
+        }
+      }
+    }
+    if (fold_edge < 0) return;
+
+    const AttrId shared = q.edge(fold_edge).Other(private_attr);
+    // Aggregate the private attribute away: factors(shared) = Σ_v R_e.
+    DistRelation<S> factors = AggregateByAttrs(
+        cluster, instance->relations[static_cast<size_t>(fold_edge)],
+        {shared});
+
+    // Attach to any neighbour through `shared`.
+    int neighbor = -1;
+    for (int ei : q.IncidentEdges(shared)) {
+      if (ei != fold_edge) {
+        neighbor = ei;
+        break;
+      }
+    }
+    CHECK_GE(neighbor, 0);
+    instance->relations[static_cast<size_t>(neighbor)] = MultiplyIntoByAttr(
+        cluster, instance->relations[static_cast<size_t>(neighbor)], factors,
+        shared);
+
+    // Rebuild the query without the folded edge.
+    std::vector<QueryEdge> edges;
+    std::vector<DistRelation<S>> relations;
+    for (int i = 0; i < q.num_edges(); ++i) {
+      if (i == fold_edge) continue;
+      edges.push_back(q.edge(i));
+      relations.push_back(
+          std::move(instance->relations[static_cast<size_t>(i)]));
+    }
+    std::vector<AttrId> outputs = q.output_attrs();
+    instance->query = JoinTree(std::move(edges), std::move(outputs));
+    instance->relations = std::move(relations);
+  }
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_QUERY_REDUCE_H_

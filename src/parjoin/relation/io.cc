@@ -1,0 +1,39 @@
+#include "parjoin/relation/io.h"
+
+#include <cstdlib>
+
+namespace parjoin {
+namespace internal_io {
+
+bool ParseCsvInt64Line(const std::string& line, int expected_fields,
+                       std::vector<std::int64_t>* fields,
+                       std::string* error) {
+  fields->clear();
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t comma = line.find(',', pos);
+    const std::string token =
+        line.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    char* end = nullptr;
+    errno = 0;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || (end != nullptr && *end != '\0') ||
+        errno == ERANGE) {
+      *error = "malformed integer field '" + token + "'";
+      return false;
+    }
+    fields->push_back(static_cast<std::int64_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (static_cast<int>(fields->size()) != expected_fields) {
+    *error = "expected " + std::to_string(expected_fields) + " fields, got " +
+             std::to_string(fields->size());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace internal_io
+}  // namespace parjoin

@@ -1,0 +1,94 @@
+// CSV import/export for annotated relations.
+//
+// Format: one tuple per line, the attribute values in schema order
+// followed by the annotation, comma-separated. Lines starting with '#'
+// and blank lines are skipped. Only integral-carrier semirings are
+// supported (every shipped scalar semiring qualifies).
+//
+//   # R1(A, B) over the counting semiring
+//   0,17,2
+//   3,17,5
+
+#ifndef PARJOIN_RELATION_IO_H_
+#define PARJOIN_RELATION_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/relation/relation.h"
+
+namespace parjoin {
+
+namespace internal_io {
+
+// Parses a CSV line into int64 fields. Returns false (and sets *error)
+// on malformed input.
+bool ParseCsvInt64Line(const std::string& line, int expected_fields,
+                       std::vector<std::int64_t>* fields,
+                       std::string* error);
+
+}  // namespace internal_io
+
+// Loads a relation from CSV. On failure returns false and describes the
+// problem in *error; the relation is left empty.
+template <SemiringC S>
+bool LoadRelationCsv(const std::string& path, const Schema& schema,
+                     Relation<S>* relation, std::string* error) {
+  static_assert(std::is_convertible_v<std::int64_t, typename S::ValueType>,
+                "CSV I/O requires an integral-carrier semiring");
+  *relation = Relation<S>(schema);
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  int line_number = 0;
+  std::vector<std::int64_t> fields;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    if (!internal_io::ParseCsvInt64Line(line, schema.size() + 1, &fields,
+                                        error)) {
+      *error = path + ":" + std::to_string(line_number) + ": " + *error;
+      *relation = Relation<S>(schema);
+      return false;
+    }
+    Row row;
+    row.Reserve(schema.size());
+    for (int i = 0; i < schema.size(); ++i) row.PushBack(fields[static_cast<size_t>(i)]);
+    relation->Add(std::move(row), static_cast<typename S::ValueType>(
+                                      fields[static_cast<size_t>(schema.size())]));
+  }
+  return true;
+}
+
+// Writes a relation to CSV (schema order, annotation last). Returns false
+// with *error set if the file cannot be written.
+template <SemiringC S>
+bool SaveRelationCsv(const std::string& path, const Relation<S>& relation,
+                     std::string* error) {
+  static_assert(std::is_convertible_v<typename S::ValueType, std::int64_t>,
+                "CSV I/O requires an integral-carrier semiring");
+  std::ofstream out(path);
+  if (!out) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << "# schema:";
+  for (AttrId a : relation.schema().attrs()) out << " " << a;
+  out << " + annotation (" << S::kName << ")\n";
+  for (const auto& t : relation.tuples()) {
+    for (int i = 0; i < t.row.size(); ++i) out << t.row[i] << ",";
+    out << static_cast<std::int64_t>(t.w) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_RELATION_IO_H_

@@ -1,0 +1,88 @@
+// Schema: the ordered attribute list of a relation.
+//
+// Attributes are identified by small integer ids (AttrId); queries define
+// the universe of attributes (see query/join_tree.h). A Schema maps an
+// attribute to its position in a Row and supports the projections used when
+// joining and aggregating.
+
+#ifndef PARJOIN_RELATION_SCHEMA_H_
+#define PARJOIN_RELATION_SCHEMA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/common/row.h"
+
+namespace parjoin {
+
+using AttrId = std::int32_t;
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<AttrId> attrs) : attrs_(attrs) {}
+  explicit Schema(std::vector<AttrId> attrs) : attrs_(std::move(attrs)) {}
+
+  int size() const { return static_cast<int>(attrs_.size()); }
+  AttrId attr(int i) const { return attrs_[static_cast<size_t>(i)]; }
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+
+  // Position of `attr` in this schema, or -1 if absent.
+  int IndexOf(AttrId attr) const {
+    for (int i = 0; i < size(); ++i) {
+      if (attrs_[static_cast<size_t>(i)] == attr) return i;
+    }
+    return -1;
+  }
+
+  bool Contains(AttrId attr) const { return IndexOf(attr) >= 0; }
+
+  // Positions (in this schema) of the given attributes, in their order.
+  // Every attribute must be present.
+  std::vector<int> PositionsOf(const std::vector<AttrId>& attrs) const {
+    std::vector<int> out;
+    out.reserve(attrs.size());
+    for (AttrId a : attrs) {
+      const int pos = IndexOf(a);
+      CHECK_GE(pos, 0) << "attribute " << a << " not in schema " << *this;
+      out.push_back(pos);
+    }
+    return out;
+  }
+
+  // Attributes present in both schemas, in this schema's order.
+  std::vector<AttrId> CommonAttrs(const Schema& other) const {
+    std::vector<AttrId> out;
+    for (AttrId a : attrs_) {
+      if (other.Contains(a)) out.push_back(a);
+    }
+    return out;
+  }
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attrs_ == b.attrs_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Schema& s) {
+    os << "[";
+    for (int i = 0; i < s.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << s.attr(i);
+    }
+    return os << "]";
+  }
+
+ private:
+  std::vector<AttrId> attrs_;
+};
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_RELATION_SCHEMA_H_

@@ -1,0 +1,44 @@
+// Commutative semiring abstraction (Green, Karvounarakis, Tannen '07 style).
+//
+// A join-aggregate query Q_y(R) is evaluated over annotated relations: each
+// tuple carries an annotation from a commutative semiring (R, ⊕, ⊗). Join
+// results multiply annotations with ⊗; grouping by the output attributes y
+// sums them with ⊕. Crucially, no additive inverse is assumed anywhere in
+// the library — this is the "semiring model" under which the paper's
+// algorithms are designed and its lower bounds hold.
+//
+// A semiring is a stateless type providing:
+//   using ValueType = ...;                 the carrier type
+//   static ValueType Zero();               ⊕ identity, ⊗ annihilator
+//   static ValueType One();                ⊗ identity
+//   static ValueType Plus(a, b);           commutative, associative
+//   static ValueType Times(a, b);          commutative, associative,
+//                                          distributes over Plus
+//   static constexpr bool kIdempotentPlus; whether a ⊕ a == a
+//   static constexpr const char* kName;    for diagnostics
+//
+// Concrete semirings live in semirings.h. The SemiringC concept below lets
+// algorithm templates state their requirement explicitly.
+
+#ifndef PARJOIN_SEMIRING_SEMIRING_H_
+#define PARJOIN_SEMIRING_SEMIRING_H_
+
+#include <concepts>
+#include <type_traits>
+
+namespace parjoin {
+
+template <typename S>
+concept SemiringC = requires(typename S::ValueType a, typename S::ValueType b) {
+  typename S::ValueType;
+  { S::Zero() } -> std::same_as<typename S::ValueType>;
+  { S::One() } -> std::same_as<typename S::ValueType>;
+  { S::Plus(a, b) } -> std::same_as<typename S::ValueType>;
+  { S::Times(a, b) } -> std::same_as<typename S::ValueType>;
+  { S::kIdempotentPlus } -> std::convertible_to<bool>;
+  { S::kName } -> std::convertible_to<const char*>;
+};
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_SEMIRING_SEMIRING_H_

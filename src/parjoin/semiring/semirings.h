@@ -1,0 +1,94 @@
+// The standard commutative semirings used throughout tests, examples, and
+// benchmarks.
+//
+//   CountingSemiring   (Z, +, *)            COUNT / weighted-sum aggregates;
+//                                           matrix multiplication over Z.
+//   BooleanSemiring    ({0,1}, ∨, ∧)        join-project / reachability;
+//                                           idempotent.
+//   MinPlusSemiring    (R ∪ {∞}, min, +)    tropical semiring: shortest
+//                                           paths; idempotent.
+//   MaxPlusSemiring    (R ∪ {-∞}, max, +)   longest/critical paths;
+//                                           idempotent.
+//   MaxMinSemiring     (R, max, min)        bottleneck capacity; idempotent.
+//
+// All carriers are int64_t so that one tuple representation serves every
+// semiring and results are exactly comparable against the reference
+// evaluator (no floating-point drift).
+
+#ifndef PARJOIN_SEMIRING_SEMIRINGS_H_
+#define PARJOIN_SEMIRING_SEMIRINGS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "parjoin/semiring/semiring.h"
+
+namespace parjoin {
+
+struct CountingSemiring {
+  using ValueType = std::int64_t;
+  static ValueType Zero() { return 0; }
+  static ValueType One() { return 1; }
+  static ValueType Plus(ValueType a, ValueType b) { return a + b; }
+  static ValueType Times(ValueType a, ValueType b) { return a * b; }
+  static constexpr bool kIdempotentPlus = false;
+  static constexpr const char* kName = "counting";
+};
+
+struct BooleanSemiring {
+  using ValueType = std::int64_t;  // 0 or 1
+  static ValueType Zero() { return 0; }
+  static ValueType One() { return 1; }
+  static ValueType Plus(ValueType a, ValueType b) { return (a | b) ? 1 : 0; }
+  static ValueType Times(ValueType a, ValueType b) { return (a & b) ? 1 : 0; }
+  static constexpr bool kIdempotentPlus = true;
+  static constexpr const char* kName = "boolean";
+};
+
+struct MinPlusSemiring {
+  using ValueType = std::int64_t;
+  // +infinity is the additive identity of min.
+  static ValueType Zero() { return std::numeric_limits<std::int64_t>::max(); }
+  static ValueType One() { return 0; }
+  static ValueType Plus(ValueType a, ValueType b) { return std::min(a, b); }
+  static ValueType Times(ValueType a, ValueType b) {
+    if (a == Zero() || b == Zero()) return Zero();  // ∞ + x = ∞
+    return a + b;
+  }
+  static constexpr bool kIdempotentPlus = true;
+  static constexpr const char* kName = "min-plus";
+};
+
+struct MaxPlusSemiring {
+  using ValueType = std::int64_t;
+  static ValueType Zero() { return std::numeric_limits<std::int64_t>::min(); }
+  static ValueType One() { return 0; }
+  static ValueType Plus(ValueType a, ValueType b) { return std::max(a, b); }
+  static ValueType Times(ValueType a, ValueType b) {
+    if (a == Zero() || b == Zero()) return Zero();
+    return a + b;
+  }
+  static constexpr bool kIdempotentPlus = true;
+  static constexpr const char* kName = "max-plus";
+};
+
+struct MaxMinSemiring {
+  using ValueType = std::int64_t;
+  static ValueType Zero() { return std::numeric_limits<std::int64_t>::min(); }
+  static ValueType One() { return std::numeric_limits<std::int64_t>::max(); }
+  static ValueType Plus(ValueType a, ValueType b) { return std::max(a, b); }
+  static ValueType Times(ValueType a, ValueType b) { return std::min(a, b); }
+  static constexpr bool kIdempotentPlus = true;
+  static constexpr const char* kName = "max-min";
+};
+
+static_assert(SemiringC<CountingSemiring>);
+static_assert(SemiringC<BooleanSemiring>);
+static_assert(SemiringC<MinPlusSemiring>);
+static_assert(SemiringC<MaxPlusSemiring>);
+static_assert(SemiringC<MaxMinSemiring>);
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_SEMIRING_SEMIRINGS_H_

@@ -1,0 +1,85 @@
+// TopTwoMinPlus: a commutative semiring whose carrier is the multiset of
+// the two smallest path costs (a "top-k of shortest paths" algebra for
+// k = 2). Demonstrates that the library's algorithms work with non-scalar
+// carriers: Tuple<S> stores S::ValueType by value, and the algorithms only
+// ever call Plus/Times/==.
+//
+//   Zero = {∞, ∞}      (no path)
+//   One  = {0, ∞}      (the empty path)
+//   Plus = the two smallest of the union of both cost sets
+//   Times = the two smallest pairwise sums
+//
+// This is the standard k-shortest-path semiring restricted to k = 2; it is
+// commutative and idempotent (duplicated costs collapse because the
+// carriers are treated as sorted cost PAIRS with deduplication — the
+// variant where equal costs from genuinely different paths should count
+// twice is NOT idempotent and not used here, keeping Plus(a, a) = a).
+
+#ifndef PARJOIN_SEMIRING_TOPK_H_
+#define PARJOIN_SEMIRING_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "parjoin/semiring/semiring.h"
+
+namespace parjoin {
+
+struct TopTwoCosts {
+  static constexpr std::int64_t kInf =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::int64_t best = kInf;
+  std::int64_t second = kInf;
+
+  friend bool operator==(const TopTwoCosts& a, const TopTwoCosts& b) {
+    return a.best == b.best && a.second == b.second;
+  }
+};
+
+struct TopTwoMinPlusSemiring {
+  using ValueType = TopTwoCosts;
+
+  static ValueType Zero() { return {}; }
+  static ValueType One() { return {0, TopTwoCosts::kInf}; }
+
+  // Keeps the two smallest distinct costs among {a.best, a.second, b.best,
+  // b.second}.
+  static ValueType Plus(const ValueType& a, const ValueType& b) {
+    std::int64_t costs[4] = {a.best, a.second, b.best, b.second};
+    std::sort(costs, costs + 4);
+    ValueType out;
+    out.best = costs[0];
+    out.second = TopTwoCosts::kInf;
+    for (int i = 1; i < 4; ++i) {
+      if (costs[i] != out.best) {
+        out.second = costs[i];
+        break;
+      }
+    }
+    return out;
+  }
+
+  // The two smallest distinct pairwise sums.
+  static ValueType Times(const ValueType& a, const ValueType& b) {
+    auto add = [](std::int64_t x, std::int64_t y) {
+      if (x == TopTwoCosts::kInf || y == TopTwoCosts::kInf) {
+        return TopTwoCosts::kInf;
+      }
+      return x + y;
+    };
+    ValueType s1{add(a.best, b.best), add(a.best, b.second)};
+    ValueType s2{add(a.second, b.best), add(a.second, b.second)};
+    return Plus(s1, s2);
+  }
+
+  static constexpr bool kIdempotentPlus = true;
+  static constexpr const char* kName = "top2-min-plus";
+};
+
+static_assert(SemiringC<TopTwoMinPlusSemiring>);
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_SEMIRING_TOPK_H_

@@ -1,0 +1,80 @@
+// KMV (k minimum values) distinct-count sketch [Bar-Yossef et al. '02,
+// Beyer et al. '07], used by the paper (§2.2) to obtain constant-factor
+// approximations of OUT with linear load.
+//
+// A Kmv keeps the k smallest distinct hash values seen. Two sketches over
+// the same hash function merge by keeping the k smallest of their union —
+// the property that lets OUT_a be computed bottom-up with reduce-by-key.
+// The estimator is (k-1)/v_k (with hashes normalized to [0,1)); when fewer
+// than k distinct hashes were seen the count is exact.
+
+#ifndef PARJOIN_SKETCH_KMV_H_
+#define PARJOIN_SKETCH_KMV_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "parjoin/common/hash.h"
+#include "parjoin/common/logging.h"
+
+namespace parjoin {
+
+template <int K>
+class KmvT {
+ public:
+  static_assert(K >= 2, "KMV needs at least two slots");
+  // k is a compile-time constant: the paper only needs constant k for a
+  // constant-factor approximation; 16 keeps the sketch one cache line pair.
+  static constexpr int kK = K;
+
+  KmvT() : size_(0) {}
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Inserts a hash value (deduplicated; keeps the kK smallest).
+  void AddHash(std::uint64_t h) {
+    if (size_ == kK && h >= vals_[kK - 1]) return;
+    // Find insertion point; skip exact duplicates.
+    int lo = 0, hi = size_;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (vals_[mid] < h) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < size_ && vals_[lo] == h) return;
+    const int limit = std::min(size_ + 1, static_cast<int>(kK));
+    for (int i = limit - 1; i > lo; --i) vals_[i] = vals_[i - 1];
+    if (lo < limit) vals_[lo] = h;
+    size_ = limit;
+  }
+
+  // Keeps the k smallest of the union of both sketches (both sides must
+  // use the same hash function).
+  void Merge(const KmvT& other) {
+    for (int i = 0; i < other.size_; ++i) AddHash(other.vals_[i]);
+  }
+
+  // Estimated number of distinct inserted values.
+  double Estimate() const {
+    if (size_ < kK) return static_cast<double>(size_);  // exact
+    const double vk =
+        static_cast<double>(vals_[kK - 1]) / 18446744073709551616.0;  // 2^64
+    CHECK_GT(vk, 0.0);
+    return (kK - 1) / vk;
+  }
+
+ private:
+  int size_;
+  std::uint64_t vals_[kK];  // sorted ascending, first size_ entries valid
+};
+
+// The library-wide default sketch width.
+using Kmv = KmvT<16>;
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_SKETCH_KMV_H_

@@ -1,0 +1,99 @@
+#include "parjoin/workload/generators.h"
+
+#include <cmath>
+
+namespace parjoin {
+
+MatMulBlockConfig MatMulBlockConfig::FromTargets(std::int64_t n,
+                                                 std::int64_t out,
+                                                 std::int64_t blocks,
+                                                 std::uint64_t seed) {
+  CHECK_GE(n, 1);
+  CHECK_GE(out, 1);
+  CHECK_GE(blocks, 1);
+  // side_a = side_c = s, side_b = b with k*s*b = n and k*s^2 = out:
+  //   s = sqrt(out/k), b = n / sqrt(k*out).
+  const double k = static_cast<double>(blocks);
+  const double s = std::max(1.0, std::sqrt(static_cast<double>(out) / k));
+  const double b = std::max(
+      1.0, static_cast<double>(n) / std::sqrt(k * static_cast<double>(out)));
+  MatMulBlockConfig cfg;
+  cfg.blocks = blocks;
+  cfg.side_a = static_cast<std::int64_t>(std::llround(s));
+  cfg.side_b = static_cast<std::int64_t>(std::llround(b));
+  cfg.side_c = cfg.side_a;
+  cfg.seed = seed;
+  return cfg;
+}
+
+JoinTree GenRandomQuery(int num_attrs, std::uint64_t seed, int max_degree,
+                        double output_prob) {
+  CHECK_GE(num_attrs, 2);
+  Rng rng(seed);
+  std::vector<QueryEdge> edges;
+  std::vector<int> degree(static_cast<size_t>(num_attrs), 0);
+  for (AttrId a = 1; a < num_attrs; ++a) {
+    // Uniform random recursive tree, rejecting over-degree parents.
+    AttrId parent = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      parent = static_cast<AttrId>(rng.Uniform(0, a - 1));
+      if (degree[static_cast<size_t>(parent)] < max_degree - 1) break;
+    }
+    edges.push_back({parent, a});
+    degree[static_cast<size_t>(parent)] += 1;
+    degree[static_cast<size_t>(a)] += 1;
+  }
+  std::vector<AttrId> outputs;
+  for (AttrId a = 0; a < num_attrs; ++a) {
+    if (rng.Bernoulli(output_prob)) outputs.push_back(a);
+  }
+  if (outputs.empty()) {
+    outputs.push_back(static_cast<AttrId>(rng.Uniform(0, num_attrs - 1)));
+  }
+  return JoinTree(std::move(edges), std::move(outputs));
+}
+
+JoinTree Fig1StarLikeQuery() {
+  // B = 0; arm endpoints A1..A5 = 1..5; interior attributes:
+  // C11 = 6 (arm 1), C21 = 7, C22 = 8 (arm 2), C41 = 9 (arm 4),
+  // C51 = 10 (arm 5). Arm 3 is the single relation (A3, B).
+  return JoinTree(
+      {{1, 6}, {6, 0},           // arm 1: A1 - C11 - B
+       {2, 7}, {7, 8}, {8, 0},   // arm 2: A2 - C21 - C22 - B
+       {3, 0},                   // arm 3: A3 - B
+       {4, 9}, {9, 0},           // arm 4: A4 - C41 - B
+       {5, 10}, {10, 0}},        // arm 5: A5 - C51 - B
+      {1, 2, 3, 4, 5});
+}
+
+JoinTree Fig2Query() {
+  // Output attributes o1..o10 = 1..10; non-output: x1 = 11, x2 = 12
+  // (matrix-multiplication middles), b1 = 13 (star center), b2 = 14,
+  // b3 = 15 (the general twig's high-degree attributes), c1 = 16 (an arm
+  // interior). The reduced query decomposes into six twigs:
+  //   {o1-o2}                          single relation
+  //   {o2-x1-o3}                       matrix multiplication
+  //   {o3-b1, b1-o4, b1-o5}            star
+  //   {o5-b2, b2-o6, b2-b3, b3-o7,
+  //    b3-c1, c1-o8}                   general twig (Figure 3 shape)
+  //   {o8-o9}                          single relation
+  //   {o9-x2-o10}                      matrix multiplication
+  return JoinTree({{1, 2},
+                   {2, 11},
+                   {11, 3},
+                   {3, 13},
+                   {13, 4},
+                   {13, 5},
+                   {5, 14},
+                   {14, 6},
+                   {14, 15},
+                   {15, 7},
+                   {15, 16},
+                   {16, 8},
+                   {8, 9},
+                   {9, 12},
+                   {12, 10}},
+                  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+}
+
+}  // namespace parjoin

@@ -1,0 +1,412 @@
+// Workload generators for every query class in the paper, plus the hard
+// instances of the §3.3 lower bounds.
+//
+// Two families:
+//  * Random — each relation is a set of distinct uniform (or Zipf-skewed)
+//    pairs over configurable domains. OUT is emergent; benches report the
+//    measured value.
+//  * Block — the join graph is a disjoint union of complete-bipartite
+//    blocks, which makes OUT a closed-form function of the block geometry.
+//    Used for the Table 1 sweeps where OUT must be controlled
+//    independently of N (and matching the Theorem 3 construction when the
+//    block count is 1).
+//
+// All generators return TreeInstance<S> with the data pre-distributed
+// evenly (the model's initial placement) and annotations drawn uniformly
+// from [1, max_weight] — valid inputs for every shipped semiring.
+
+#ifndef PARJOIN_WORKLOAD_GENERATORS_H_
+#define PARJOIN_WORKLOAD_GENERATORS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/common/random.h"
+#include "parjoin/query/instance.h"
+#include "parjoin/relation/relation.h"
+#include "parjoin/semiring/semirings.h"
+
+namespace parjoin {
+
+// Attribute-id conventions used by the canned queries below.
+//   Matrix multiplication: A=0, B=1, C=2; y = {A, C}.
+//   Line query over n relations: A1=0 ... A_{n+1}=n; y = {0, n}.
+//   Star query over n relations: A_i = i for i in [1, n], B = 0; y = {1..n}.
+
+namespace internal_workload {
+
+// Draws a random annotation that is a valid carrier value for S. The
+// Boolean semiring's carrier is {0,1}: present tuples get One().
+template <SemiringC S>
+typename S::ValueType RandomWeight(Rng& rng, std::int64_t max_weight) {
+  // Always consume one draw so the generated instance (tuple set) is
+  // identical across semirings for a fixed seed.
+  const std::int64_t draw = rng.Uniform(1, max_weight);
+  if constexpr (std::is_same_v<S, BooleanSemiring>) {
+    return S::One();
+  } else if constexpr (std::is_convertible_v<std::int64_t,
+                                             typename S::ValueType>) {
+    return static_cast<typename S::ValueType>(draw);
+  } else {
+    // Struct carriers (e.g. top-k semirings): callers rewrite annotations.
+    return S::One();
+  }
+}
+
+// Draws `count` distinct (u, v) pairs; u uniform over [0, dom_u),
+// v Zipf(skew_v)-skewed over [0, dom_v) (skew 0 = uniform).
+template <SemiringC S>
+Relation<S> RandomBinaryRelation(Schema schema, std::int64_t count,
+                                 std::int64_t dom_u, std::int64_t dom_v,
+                                 double skew_v, std::int64_t max_weight,
+                                 Rng& rng) {
+  CHECK_LE(count, dom_u * dom_v) << "relation cannot hold distinct tuples";
+  Relation<S> rel(std::move(schema));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<size_t>(count) * 2);
+  ZipfSampler zipf(dom_v, skew_v);
+  std::int64_t attempts = 0;
+  while (static_cast<std::int64_t>(seen.size()) < count) {
+    // Fall back to denser sampling if rejection stalls (tiny domains).
+    CHECK_LT(attempts++, 100 * count + 1000) << "generator stalled";
+    const Value u = rng.Uniform(0, dom_u - 1);
+    const Value v = skew_v == 0 ? rng.Uniform(0, dom_v - 1)
+                                : zipf.Sample(rng) - 1;
+    const std::uint64_t key = static_cast<std::uint64_t>(u) * 0x1p32 +
+                              static_cast<std::uint64_t>(v);
+    if (!seen.insert(key).second) continue;
+    rel.Add(Row{u, v}, RandomWeight<S>(rng, max_weight));
+  }
+  return rel;
+}
+
+}  // namespace internal_workload
+
+// --- Matrix multiplication ---------------------------------------------------
+
+struct MatMulGenConfig {
+  std::int64_t n1 = 1000;
+  std::int64_t n2 = 1000;
+  std::int64_t dom_a = 200;
+  std::int64_t dom_b = 200;
+  std::int64_t dom_c = 200;
+  double skew_b = 0;  // Zipf skew of the join attribute B
+  std::int64_t max_weight = 10;
+  std::uint64_t seed = 1;
+};
+
+template <SemiringC S>
+TreeInstance<S> GenMatMulRandom(const mpc::Cluster& cluster,
+                                const MatMulGenConfig& cfg) {
+  Rng rng(cfg.seed);
+  TreeInstance<S> instance{
+      JoinTree({{0, 1}, {1, 2}}, {0, 2}),
+      {}};
+  instance.relations.push_back(Distribute(
+      cluster, internal_workload::RandomBinaryRelation<S>(
+                   Schema{0, 1}, cfg.n1, cfg.dom_a, cfg.dom_b, cfg.skew_b,
+                   cfg.max_weight, rng)));
+  instance.relations.push_back(Distribute(
+      cluster, internal_workload::RandomBinaryRelation<S>(
+                   Schema{2, 1}, cfg.n2, cfg.dom_c, cfg.dom_b, cfg.skew_b,
+                   cfg.max_weight, rng)));
+  // Present R2 with schema (B, C).
+  auto& r2 = instance.relations[1];
+  for (auto& part : r2.data.parts()) {
+    for (auto& t : part) std::swap(t.row[0], t.row[1]);
+  }
+  r2.schema = Schema{1, 2};
+  return instance;
+}
+
+// Block geometry: `blocks` disjoint complete-bipartite blocks, each with
+// side_a A-values, side_b B-values, side_c C-values. Exact sizes:
+//   N1 = blocks*side_a*side_b, N2 = blocks*side_b*side_c,
+//   OUT = blocks*side_a*side_c.
+struct MatMulBlockConfig {
+  std::int64_t blocks = 4;
+  std::int64_t side_a = 8;
+  std::int64_t side_b = 4;
+  std::int64_t side_c = 8;
+  std::int64_t max_weight = 10;
+  std::uint64_t seed = 1;
+
+  std::int64_t n1() const { return blocks * side_a * side_b; }
+  std::int64_t n2() const { return blocks * side_b * side_c; }
+  std::int64_t out() const { return blocks * side_a * side_c; }
+
+  // Chooses a geometry matching the targets within rounding: N1 = N2 ~ n,
+  // OUT ~ out, split into ~`blocks` blocks.
+  static MatMulBlockConfig FromTargets(std::int64_t n, std::int64_t out,
+                                       std::int64_t blocks = 4,
+                                       std::uint64_t seed = 1);
+};
+
+template <SemiringC S>
+TreeInstance<S> GenMatMulBlocks(const mpc::Cluster& cluster,
+                                const MatMulBlockConfig& cfg) {
+  Rng rng(cfg.seed);
+  Relation<S> r1(Schema{0, 1});
+  Relation<S> r2(Schema{1, 2});
+  for (std::int64_t blk = 0; blk < cfg.blocks; ++blk) {
+    const Value a0 = blk * cfg.side_a;
+    const Value b0 = blk * cfg.side_b;
+    const Value c0 = blk * cfg.side_c;
+    for (std::int64_t i = 0; i < cfg.side_a; ++i) {
+      for (std::int64_t j = 0; j < cfg.side_b; ++j) {
+        r1.Add(Row{a0 + i, b0 + j},
+               internal_workload::RandomWeight<S>(rng, cfg.max_weight));
+      }
+    }
+    for (std::int64_t j = 0; j < cfg.side_b; ++j) {
+      for (std::int64_t k = 0; k < cfg.side_c; ++k) {
+        r2.Add(Row{b0 + j, c0 + k},
+               internal_workload::RandomWeight<S>(rng, cfg.max_weight));
+      }
+    }
+  }
+  TreeInstance<S> instance{JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(Distribute(cluster, std::move(r1)));
+  instance.relations.push_back(Distribute(cluster, std::move(r2)));
+  return instance;
+}
+
+// --- Lower-bound hard instances (§3.3) ---------------------------------------
+
+// Theorem 2 construction: R1 = {a} x dom(B) with |dom(B)| = n1;
+// R2 = {b1, b2} x dom(C) with |dom(C)| = n2/2. Every output (a, c) needs
+// the two tuples (b1, c), (b2, c) to meet. Output size ~ n2/2.
+template <SemiringC S>
+TreeInstance<S> GenLowerBoundThm2(const mpc::Cluster& cluster,
+                                  std::int64_t n1, std::int64_t n2,
+                                  std::uint64_t seed = 1) {
+  CHECK_GE(n1, 2);
+  CHECK_GE(n2, 2);
+  Rng rng(seed);
+  Relation<S> r1(Schema{0, 1});
+  for (std::int64_t b = 0; b < n1; ++b) {
+    r1.Add(Row{0, b}, internal_workload::RandomWeight<S>(rng, 10));
+  }
+  Relation<S> r2(Schema{1, 2});
+  for (std::int64_t c = 0; c < n2 / 2; ++c) {
+    for (Value b : {Value{0}, Value{1}}) {
+      r2.Add(Row{b, c}, internal_workload::RandomWeight<S>(rng, 10));
+    }
+  }
+  TreeInstance<S> instance{JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(Distribute(cluster, std::move(r1)));
+  instance.relations.push_back(Distribute(cluster, std::move(r2)));
+  return instance;
+}
+
+// Theorem 3 construction: complete bipartite R1 = dom(A) x dom(B),
+// R2 = dom(B) x dom(C), with |dom(A)| = sqrt(n1*out/n2),
+// |dom(B)| = sqrt(n1*n2/out), |dom(C)| = sqrt(n2*out/n1). Requires
+// 1/out <= n1/n2 <= out. OUT = |dom(A)|*|dom(C)| = out.
+template <SemiringC S>
+TreeInstance<S> GenLowerBoundThm3(const mpc::Cluster& cluster,
+                                  std::int64_t n1, std::int64_t n2,
+                                  std::int64_t out, std::uint64_t seed = 1) {
+  const auto iround = [](double x) {
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                         std::llround(x)));
+  };
+  const double dn1 = static_cast<double>(n1);
+  const double dn2 = static_cast<double>(n2);
+  const double dout = static_cast<double>(out);
+  const std::int64_t da = iround(std::sqrt(dn1 * dout / dn2));
+  const std::int64_t db = iround(std::sqrt(dn1 * dn2 / dout));
+  const std::int64_t dc = iround(std::sqrt(dn2 * dout / dn1));
+  MatMulBlockConfig cfg;
+  cfg.blocks = 1;
+  cfg.side_a = da;
+  cfg.side_b = db;
+  cfg.side_c = dc;
+  cfg.seed = seed;
+  return GenMatMulBlocks<S>(cluster, cfg);
+}
+
+// --- Line queries -------------------------------------------------------------
+
+// Block-structured line query over `arity` relations: each block joins a
+// set of `side_end` A1-values through `side_mid` interior values per level
+// to `side_end` A_{n+1}-values. OUT = blocks * side_end^2.
+struct LineBlockConfig {
+  int arity = 3;  // number of relations n
+  std::int64_t blocks = 4;
+  std::int64_t side_end = 8;
+  std::int64_t side_mid = 4;
+  std::int64_t max_weight = 10;
+  std::uint64_t seed = 1;
+
+  std::int64_t out() const { return blocks * side_end * side_end; }
+};
+
+template <SemiringC S>
+TreeInstance<S> GenLineBlocks(const mpc::Cluster& cluster,
+                              const LineBlockConfig& cfg) {
+  CHECK_GE(cfg.arity, 2);
+  Rng rng(cfg.seed);
+  std::vector<QueryEdge> edges;
+  for (int i = 0; i < cfg.arity; ++i) edges.push_back({i, i + 1});
+  TreeInstance<S> instance{JoinTree(edges, {0, cfg.arity}), {}};
+
+  for (int level = 0; level < cfg.arity; ++level) {
+    const std::int64_t left =
+        (level == 0) ? cfg.side_end : cfg.side_mid;
+    const std::int64_t right =
+        (level == cfg.arity - 1) ? cfg.side_end : cfg.side_mid;
+    Relation<S> rel(Schema{level, level + 1});
+    for (std::int64_t blk = 0; blk < cfg.blocks; ++blk) {
+      for (std::int64_t i = 0; i < left; ++i) {
+        for (std::int64_t j = 0; j < right; ++j) {
+          rel.Add(Row{blk * left + i, blk * right + j},
+                  internal_workload::RandomWeight<S>(rng, cfg.max_weight));
+        }
+      }
+    }
+    instance.relations.push_back(Distribute(cluster, std::move(rel)));
+  }
+  return instance;
+}
+
+// Random line query: each relation has `tuples_per_relation` uniform
+// distinct pairs over per-level domains of size `dom`.
+template <SemiringC S>
+TreeInstance<S> GenLineRandom(const mpc::Cluster& cluster, int arity,
+                              std::int64_t tuples_per_relation,
+                              std::int64_t dom, double skew = 0,
+                              std::uint64_t seed = 1,
+                              std::int64_t max_weight = 10) {
+  CHECK_GE(arity, 2);
+  Rng rng(seed);
+  std::vector<QueryEdge> edges;
+  for (int i = 0; i < arity; ++i) edges.push_back({i, i + 1});
+  TreeInstance<S> instance{JoinTree(edges, {0, arity}), {}};
+  for (int i = 0; i < arity; ++i) {
+    instance.relations.push_back(Distribute(
+        cluster, internal_workload::RandomBinaryRelation<S>(
+                     Schema{i, i + 1}, tuples_per_relation, dom, dom, skew,
+                     max_weight, rng)));
+  }
+  return instance;
+}
+
+// --- Star queries -------------------------------------------------------------
+
+// Block-structured star query over `arity` relations R_i(A_i, B):
+// OUT = blocks * side_arm^arity.
+struct StarBlockConfig {
+  int arity = 3;
+  std::int64_t blocks = 4;
+  std::int64_t side_arm = 4;   // arm values per block
+  std::int64_t side_b = 4;     // B values per block
+  std::int64_t max_weight = 10;
+  std::uint64_t seed = 1;
+
+  std::int64_t out() const {
+    std::int64_t o = blocks;
+    for (int i = 0; i < arity; ++i) o *= side_arm;
+    return o;
+  }
+};
+
+template <SemiringC S>
+TreeInstance<S> GenStarBlocks(const mpc::Cluster& cluster,
+                              const StarBlockConfig& cfg) {
+  CHECK_GE(cfg.arity, 2);
+  Rng rng(cfg.seed);
+  std::vector<QueryEdge> edges;
+  std::vector<AttrId> outputs;
+  for (int i = 1; i <= cfg.arity; ++i) {
+    edges.push_back({i, 0});  // R_i(A_i, B) with B = attr 0
+    outputs.push_back(i);
+  }
+  TreeInstance<S> instance{JoinTree(edges, outputs), {}};
+  for (int i = 0; i < cfg.arity; ++i) {
+    Relation<S> rel(Schema{i + 1, 0});
+    for (std::int64_t blk = 0; blk < cfg.blocks; ++blk) {
+      for (std::int64_t a = 0; a < cfg.side_arm; ++a) {
+        for (std::int64_t b = 0; b < cfg.side_b; ++b) {
+          rel.Add(Row{blk * cfg.side_arm + a, blk * cfg.side_b + b},
+                  internal_workload::RandomWeight<S>(rng, cfg.max_weight));
+        }
+      }
+    }
+    instance.relations.push_back(Distribute(cluster, std::move(rel)));
+  }
+  return instance;
+}
+
+// Random star query over per-arm domains `dom_arm` and center domain
+// `dom_b` (Zipf skew applies to B, creating heavy centers).
+template <SemiringC S>
+TreeInstance<S> GenStarRandom(const mpc::Cluster& cluster, int arity,
+                              std::int64_t tuples_per_relation,
+                              std::int64_t dom_arm, std::int64_t dom_b,
+                              double skew_b = 0, std::uint64_t seed = 1,
+                              std::int64_t max_weight = 10) {
+  CHECK_GE(arity, 2);
+  Rng rng(seed);
+  std::vector<QueryEdge> edges;
+  std::vector<AttrId> outputs;
+  for (int i = 1; i <= arity; ++i) {
+    edges.push_back({i, 0});
+    outputs.push_back(i);
+  }
+  TreeInstance<S> instance{JoinTree(edges, outputs), {}};
+  for (int i = 0; i < arity; ++i) {
+    instance.relations.push_back(Distribute(
+        cluster, internal_workload::RandomBinaryRelation<S>(
+                     Schema{i + 1, 0}, tuples_per_relation, dom_arm, dom_b,
+                     skew_b, max_weight, rng)));
+  }
+  return instance;
+}
+
+// --- Generic tree instances ---------------------------------------------------
+
+// Fills an arbitrary query with random distinct pairs: every relation gets
+// `tuples_per_relation` tuples over a domain of size `dom` per attribute.
+template <SemiringC S>
+TreeInstance<S> GenTreeRandom(const mpc::Cluster& cluster, JoinTree query,
+                              std::int64_t tuples_per_relation,
+                              std::int64_t dom, std::uint64_t seed = 1,
+                              std::int64_t max_weight = 10) {
+  Rng rng(seed);
+  TreeInstance<S> instance{std::move(query), {}};
+  for (int i = 0; i < instance.query.num_edges(); ++i) {
+    const QueryEdge& e = instance.query.edge(i);
+    instance.relations.push_back(Distribute(
+        cluster, internal_workload::RandomBinaryRelation<S>(
+                     Schema{e.u, e.v}, tuples_per_relation, dom, dom, 0,
+                     max_weight, rng)));
+  }
+  return instance;
+}
+
+// Generates a random tree query over `num_attrs` attributes: a uniform
+// random recursive tree with per-attribute degree capped at `max_degree`
+// (star-like arms are a query constant in the paper), each attribute
+// independently an output with probability `output_prob` (at least one
+// output is forced). Used by the fuzz sweeps.
+JoinTree GenRandomQuery(int num_attrs, std::uint64_t seed,
+                        int max_degree = 5, double output_prob = 0.5);
+
+// The tree query of Figure 2 (left): 13 attributes, 12 relations, with the
+// output attributes chosen so the reduced query decomposes into the
+// figure's six twigs (two single relations, two matrix multiplications,
+// one star-like query, and one general twig).
+JoinTree Fig2Query();
+
+// The star-like query of Figure 1 (left): five arms around B with arm
+// lengths 2, 3, 1, 2, 2 (attribute ids documented in the implementation).
+JoinTree Fig1StarLikeQuery();
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,137 @@
+// Tests for combined attributes (relation/attr_combiner.h): interning,
+// dictionary consistency, expansion round-trips, and load charging.
+
+#include "parjoin/relation/attr_combiner.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+Relation<S> ThreeColumnRelation() {
+  // Schema (A=0, B=1, C=2) with repeated (A, C) combinations.
+  Relation<S> rel(Schema{0, 1, 2});
+  rel.Add(Row{1, 10, 5}, 2);
+  rel.Add(Row{1, 11, 5}, 3);
+  rel.Add(Row{2, 10, 5}, 4);
+  rel.Add(Row{1, 12, 6}, 5);
+  rel.Add(Row{2, 13, 6}, 6);
+  return rel;
+}
+
+TEST(CombineAttrsTest, InternsDistinctCombinations) {
+  mpc::Cluster cluster(4);
+  auto dist = Distribute(cluster, ThreeColumnRelation());
+  CombinedRelation<S> combined = CombineAttrs(cluster, dist, {0, 2}, 99);
+
+  EXPECT_EQ(combined.combined_attr, 99);
+  EXPECT_EQ(combined.binary.schema, (Schema{99, 1}));
+  EXPECT_EQ(combined.binary.TotalSize(), 5);
+  // Distinct (A, C) combinations: (1,5), (2,5), (1,6), (2,6).
+  EXPECT_EQ(combined.dictionary.TotalSize(), 4);
+  EXPECT_EQ(combined.dictionary.schema, (Schema{99, 0, 2}));
+
+  // Same combination maps to the same id everywhere.
+  std::map<Row, std::set<Value>> ids_per_combo;
+  Relation<S> dict = combined.dictionary.ToLocal();
+  for (const auto& t : dict.tuples()) {
+    ids_per_combo[Row{t.row[1], t.row[2]}].insert(t.row[0]);
+  }
+  for (const auto& [combo, ids] : ids_per_combo) {
+    EXPECT_EQ(ids.size(), 1u) << "combination " << combo
+                              << " has multiple ids";
+  }
+}
+
+TEST(CombineAttrsTest, AnnotationsPreserved) {
+  mpc::Cluster cluster(4);
+  auto dist = Distribute(cluster, ThreeColumnRelation());
+  CombinedRelation<S> combined = CombineAttrs(cluster, dist, {0, 2}, 99);
+  std::int64_t total_before = 0, total_after = 0;
+  dist.data.ForEach([&](const Tuple<S>& t) { total_before += t.w; });
+  combined.binary.data.ForEach(
+      [&](const Tuple<S>& t) { total_after += t.w; });
+  EXPECT_EQ(total_before, total_after);
+  // Dictionary annotations are One() so expansion is weight-neutral.
+  combined.dictionary.data.ForEach(
+      [&](const Tuple<S>& t) { EXPECT_EQ(t.w, S::One()); });
+}
+
+TEST(ExpandAttrsTest, RoundTripsToOriginal) {
+  mpc::Cluster cluster(4);
+  Relation<S> original = ThreeColumnRelation();
+  auto dist = Distribute(cluster, original);
+  CombinedRelation<S> combined = CombineAttrs(cluster, dist, {0, 2}, 99);
+  DistRelation<S> expanded =
+      ExpandAttrs(cluster, combined.binary, combined.dictionary, 99);
+
+  // Expanded schema: (kept B) then the combined attrs (A, C).
+  Relation<S> got = expanded.ToLocal();
+  got.Normalize();
+  // Reorder to the original schema for comparison.
+  Relation<S> reordered(original.schema());
+  const auto positions = got.schema().PositionsOf({0, 1, 2});
+  for (const auto& t : got.tuples()) {
+    reordered.Add(t.row.Select(positions), t.w);
+  }
+  reordered.Normalize();
+  Relation<S> expected = original;
+  expected.Normalize();
+  EXPECT_TRUE(reordered == expected);
+}
+
+TEST(ExpandAttrsTest, MultiplicityThroughJoin) {
+  // A relation that references each combined id several times must expand
+  // every reference.
+  mpc::Cluster cluster(3);
+  Relation<S> base(Schema{0, 1});
+  base.Add(Row{7, 100}, 1);
+  base.Add(Row{8, 100}, 1);
+  auto dist = Distribute(cluster, base);
+  CombinedRelation<S> combined = CombineAttrs(cluster, dist, {1}, 50);
+
+  Relation<S> uses(Schema{50, 2});
+  combined.dictionary.data.ForEach([&](const Tuple<S>& t) {
+    uses.Add(Row{t.row[0], 1}, 2);
+    uses.Add(Row{t.row[0], 2}, 3);
+  });
+  auto uses_dist = Distribute(cluster, uses);
+  DistRelation<S> expanded =
+      ExpandAttrs(cluster, uses_dist, combined.dictionary, 50);
+  EXPECT_EQ(expanded.TotalSize(), 2);
+  EXPECT_FALSE(expanded.schema.Contains(50));
+  EXPECT_TRUE(expanded.schema.Contains(1));
+}
+
+TEST(CombineAttrsTest, CombineAllAttrsLeavesKeyOnly) {
+  mpc::Cluster cluster(2);
+  auto dist = Distribute(cluster, ThreeColumnRelation());
+  CombinedRelation<S> combined =
+      CombineAttrs(cluster, dist, {0, 1, 2}, 42);
+  EXPECT_EQ(combined.binary.schema, (Schema{42}));
+  EXPECT_EQ(combined.dictionary.TotalSize(), 5);  // all rows distinct
+}
+
+TEST(CombineAttrsTest, ChargesModeledLinearLoad) {
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 4000;
+  cfg.n2 = 10;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  cluster.ResetStats();
+  CombineAttrs(cluster, instance.relations[0], {0}, 77);
+  EXPECT_LE(cluster.stats().max_load, 2 * (4000 / 8 + 1));
+  EXPECT_GE(cluster.stats().rounds, 2);
+}
+
+}  // namespace
+}  // namespace parjoin

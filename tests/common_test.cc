@@ -1,0 +1,194 @@
+// Unit tests for the common utilities: RNG determinism and distribution
+// sanity, Zipf sampling, hashing, table formatting, and logging macros.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/common/hash.h"
+#include "parjoin/common/logging.h"
+#include "parjoin/common/random.h"
+#include "parjoin/common/stopwatch.h"
+#include "parjoin/common/table_printer.h"
+
+namespace parjoin {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.Uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u) << "all 9 values should appear in 2000 draws";
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent stream.
+  Rng parent2(5);
+  parent2.Fork();
+  EXPECT_EQ(parent.Next(), parent2.Next()) << "fork must be deterministic";
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.Next() == parent.Next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(ZipfTest, SkewZeroIsRoughlyUniform) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 0.0);
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)] += 1;
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, 2000, 300) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesOnLowRanks) {
+  Rng rng(3);
+  ZipfSampler zipf(1000, 1.2);
+  int top10 = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(rng) <= 10) ++top10;
+  }
+  EXPECT_GT(top10, kDraws / 3) << "rank<=10 should dominate at skew 1.2";
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(9);
+  ZipfSampler zipf(50, 0.7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = zipf.Sample(rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 50);
+  }
+}
+
+TEST(HashTest, Mix64IsInjectiveOnSample) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashTest, SeededHashFamiliesDiffer) {
+  SeededHash h1(1), h2(2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    if (h1(i) == h2(i)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(HashTest, SeededHashBalanced) {
+  SeededHash h(17);
+  std::vector<int> buckets(16, 0);
+  for (std::uint64_t i = 0; i < 16000; ++i) buckets[h(i) % 16] += 1;
+  for (int count : buckets) EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(FmtTest, ThousandsSeparators) {
+  EXPECT_EQ(Fmt(std::int64_t{0}), "0");
+  EXPECT_EQ(Fmt(std::int64_t{999}), "999");
+  EXPECT_EQ(Fmt(std::int64_t{1000}), "1,000");
+  EXPECT_EQ(Fmt(std::int64_t{1234567}), "1,234,567");
+  EXPECT_EQ(Fmt(std::int64_t{-45678}), "-45,678");
+}
+
+TEST(FmtTest, DoublesCompact) {
+  EXPECT_EQ(Fmt(1.5), "1.5");
+  EXPECT_EQ(Fmt(12000.0), "12,000");
+  EXPECT_EQ(Fmt(0.123456), "0.123");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"12345678", "x"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Every printed line has the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::set<size_t> widths;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) widths.insert(line.size());
+  }
+  EXPECT_EQ(widths.size(), 1u) << out;
+  EXPECT_NE(out.find("12345678"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GE(w.ElapsedSeconds(), 0.0);
+  EXPECT_GE(w.ElapsedMillis(), w.ElapsedSeconds());
+}
+
+TEST(LoggingDeathTest, CheckMacrosFireWithOperands) {
+  EXPECT_DEATH(CHECK_EQ(1, 2), "1 vs. 2");
+  EXPECT_DEATH(CHECK_LT(5, 3), "Check failed: 5 < 3");
+  const bool condition = false;
+  EXPECT_DEATH(CHECK(condition) << "extra context", "extra context");
+}
+
+TEST(LoggingTest, NonFatalSeveritiesReturn) {
+  LOG(INFO) << "info is fine";
+  LOG(WARNING) << "warning is fine";
+  LOG(ERROR) << "error is fine";
+}
+
+TEST(SplitMixTest, KnownSequenceIsStable) {
+  // Pin the seed-expansion outputs: changing them silently would break
+  // reproducibility of every seeded workload.
+  std::uint64_t state = 0;
+  const std::uint64_t first = SplitMix64(state);
+  const std::uint64_t second = SplitMix64(state);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace parjoin

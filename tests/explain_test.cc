@@ -1,0 +1,69 @@
+// Tests for ExplainQuery: plans mention the right shapes, bounds,
+// decompositions, and preprocessing folds.
+
+#include "parjoin/query/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+TEST(ExplainTest, MatMulMentionsTheorem1) {
+  const std::string plan =
+      ExplainQuery(JoinTree({{0, 1}, {1, 2}}, {0, 2}));
+  EXPECT_NE(plan.find("matrix-multiplication"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Theorem 1"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("optimal"), std::string::npos) << plan;
+}
+
+TEST(ExplainTest, LineMentionsTheorem4) {
+  const std::string plan =
+      ExplainQuery(JoinTree({{0, 1}, {1, 2}, {2, 3}}, {0, 3}));
+  EXPECT_NE(plan.find("line"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Theorem 4"), std::string::npos) << plan;
+}
+
+TEST(ExplainTest, StarListsArms) {
+  const std::string plan =
+      ExplainQuery(JoinTree({{1, 0}, {2, 0}, {3, 0}}, {1, 2, 3}));
+  EXPECT_NE(plan.find("star"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("center B = 0"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("length 1"), std::string::npos) << plan;
+}
+
+TEST(ExplainTest, Fig1StarLikeArmLengths) {
+  const std::string plan = ExplainQuery(Fig1StarLikeQuery());
+  EXPECT_NE(plan.find("star-like"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Lemma 7"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("length 3"), std::string::npos)
+      << "the A2 arm has length 3: " << plan;
+}
+
+TEST(ExplainTest, Fig2ReportsSixTwigs) {
+  const std::string plan = ExplainQuery(Fig2Query());
+  EXPECT_NE(plan.find("twig decomposition: 6 twigs"), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("Theorem 6"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("V*"), std::string::npos) << plan;
+}
+
+TEST(ExplainTest, PreprocessingFoldsPrivateAttrs) {
+  // Path 0-1-2-3 with y = {0, 2}: edge (2,3) folds.
+  const std::string plan =
+      ExplainQuery(JoinTree({{0, 1}, {1, 2}, {2, 3}}, {0, 2}));
+  EXPECT_NE(plan.find("1 relation(s) with private non-output"),
+            std::string::npos)
+      << plan;
+}
+
+TEST(ExplainTest, ScalarQueryCollapsesToSingleRelation) {
+  const std::string plan =
+      ExplainQuery(JoinTree({{0, 1}, {1, 2}}, {}));
+  EXPECT_NE(plan.find("single relation -> aggregate"), std::string::npos)
+      << plan;
+}
+
+}  // namespace
+}  // namespace parjoin

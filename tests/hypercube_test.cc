@@ -1,0 +1,90 @@
+// Tests for the HyperCube full-join baseline (§1.4's third approach):
+// correctness against the oracle across shapes and cluster sizes, and the
+// paper's claim that its aggregation step makes it no better than
+// Yannakakis when the full join is large.
+
+#include "parjoin/algorithms/hypercube.h"
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/matmul.h"
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+template <SemiringC Sr>
+void ExpectHyperCubeMatchesReference(mpc::Cluster& cluster,
+                                     const TreeInstance<Sr>& instance) {
+  Relation<Sr> expected = EvaluateReference(instance);
+  Relation<Sr> got = HyperCubeJoinAggregate(cluster, instance).ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected)
+      << instance.query.DebugString() << ": got " << got.size()
+      << " expected " << expected.size();
+}
+
+TEST(HyperCubeTest, MatMulMatchesReference) {
+  for (int p : {1, 4, 9, 27, 64}) {
+    mpc::Cluster cluster(p);
+    MatMulGenConfig cfg;
+    cfg.n1 = 400;
+    cfg.n2 = 350;
+    cfg.dom_a = 60;
+    cfg.dom_b = 25;
+    cfg.dom_c = 60;
+    cfg.skew_b = 0.6;
+    cfg.seed = 5;
+    auto instance = GenMatMulRandom<S>(cluster, cfg);
+    ExpectHyperCubeMatchesReference(cluster, instance);
+  }
+}
+
+TEST(HyperCubeTest, LineAndStarMatchReference) {
+  mpc::Cluster cluster(16);
+  auto line = GenLineRandom<S>(cluster, 3, 200, 40, 0.4, 7);
+  ExpectHyperCubeMatchesReference(cluster, line);
+  auto star = GenStarRandom<S>(cluster, 3, 120, 30, 20, 0.5, 9);
+  ExpectHyperCubeMatchesReference(cluster, star);
+}
+
+TEST(HyperCubeTest, Fig1StarLike) {
+  mpc::Cluster cluster(8);
+  auto instance = GenTreeRandom<S>(cluster, Fig1StarLikeQuery(), 12, 8, 3);
+  ExpectHyperCubeMatchesReference(cluster, instance);
+}
+
+TEST(HyperCubeTest, SingleEdgeAndScalar) {
+  mpc::Cluster cluster(4);
+  auto single = GenTreeRandom<S>(cluster, JoinTree({{0, 1}}, {0}), 50, 20, 2);
+  ExpectHyperCubeMatchesReference(cluster, single);
+  auto scalar =
+      GenTreeRandom<S>(cluster, JoinTree({{0, 1}, {1, 2}}, {}), 40, 12, 4);
+  ExpectHyperCubeMatchesReference(cluster, scalar);
+}
+
+TEST(HyperCubeTest, LosesToTheorem1OnSmallOut) {
+  // §1.4 argues full-join-first approaches cannot improve on the
+  // join-aggregate algorithms. Even with per-cell local aggregation
+  // (which blunts the paper's OUT_f bottleneck on benign data), the share
+  // replication must lose clearly to Theorem 1 when OUT is small.
+  const int p = 16;
+  MatMulBlockConfig cfg = MatMulBlockConfig::FromTargets(8000, 1024, 4);
+  mpc::Cluster c1(p), c3(p);
+  auto i1 = GenMatMulBlocks<S>(c1, cfg);
+  auto i3 = GenMatMulBlocks<S>(c3, cfg);
+  c1.ResetStats();
+  HyperCubeJoinAggregate(c1, std::move(i1));
+  c3.ResetStats();
+  MatMul(c3, std::move(i3.relations[0]), std::move(i3.relations[1]));
+  EXPECT_GT(c1.stats().max_load, c3.stats().max_load)
+      << "HyperCube must lose to Theorem 1 on small-OUT instances";
+}
+
+}  // namespace
+}  // namespace parjoin

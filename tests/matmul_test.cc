@@ -1,0 +1,248 @@
+// Tests for the §3 matrix-multiplication algorithms: LinearSparseMM, the
+// worst-case optimal algorithm, the output-sensitive algorithm, and the
+// Theorem 1 dispatcher. Correctness against the reference evaluator across
+// semirings, skew, cluster sizes, and the lower-bound hard instances;
+// load-bound property checks against the Theorem 1 expression.
+
+#include "parjoin/algorithms/matmul.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/query/dangling.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+template <SemiringC Sr>
+void ExpectMatMulMatchesReference(mpc::Cluster& cluster,
+                                  const TreeInstance<Sr>& instance,
+                                  const MatMulOptions& options) {
+  Relation<Sr> expected = EvaluateReference(instance);
+  DistRelation<Sr> got_dist = MatMul(cluster, instance.relations[0],
+                                     instance.relations[1], options);
+  Relation<Sr> got = got_dist.ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected)
+      << "got " << got.size() << " tuples, expected " << expected.size();
+}
+
+class MatMulStrategyTest : public ::testing::TestWithParam<MatMulStrategy> {
+ protected:
+  MatMulOptions Options() const {
+    MatMulOptions o;
+    o.strategy = GetParam();
+    return o;
+  }
+};
+
+TEST_P(MatMulStrategyTest, RandomUniform) {
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 600;
+  cfg.n2 = 500;
+  cfg.dom_a = 80;
+  cfg.dom_b = 30;
+  cfg.dom_c = 80;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    cfg.seed = seed;
+    auto instance = GenMatMulRandom<S>(cluster, cfg);
+    ExpectMatMulMatchesReference(cluster, instance, Options());
+  }
+}
+
+TEST_P(MatMulStrategyTest, SkewedJoinAttribute) {
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 700;
+  cfg.n2 = 700;
+  cfg.dom_a = 90;
+  cfg.dom_b = 50;
+  cfg.dom_c = 90;
+  cfg.skew_b = 1.1;  // strong skew: heavy B values stress the grids
+  cfg.seed = 5;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  ExpectMatMulMatchesReference(cluster, instance, Options());
+}
+
+TEST_P(MatMulStrategyTest, BlockInstanceExactOut) {
+  mpc::Cluster cluster(16);
+  MatMulBlockConfig cfg;
+  cfg.blocks = 6;
+  cfg.side_a = 7;
+  cfg.side_b = 4;
+  cfg.side_c = 7;
+  auto instance = GenMatMulBlocks<S>(cluster, cfg);
+  Relation<S> expected = EvaluateReference(instance);
+  ASSERT_EQ(expected.size(), cfg.out());
+  ExpectMatMulMatchesReference(cluster, instance, Options());
+}
+
+TEST_P(MatMulStrategyTest, UnbalancedSizes) {
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 40;  // n1 * p < n2 triggers the broadcast path
+  cfg.n2 = 1200;
+  cfg.dom_a = 20;
+  cfg.dom_b = 12;
+  cfg.dom_c = 300;
+  cfg.seed = 7;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  ExpectMatMulMatchesReference(cluster, instance, Options());
+}
+
+TEST_P(MatMulStrategyTest, SingleTupleSides) {
+  mpc::Cluster cluster(4);
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{3, 9}, 5);
+  Relation<S> r2(Schema{1, 2});
+  for (int c = 0; c < 30; ++c) r2.Add(Row{9, c}, c + 1);
+  TreeInstance<S> instance{JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(Distribute(cluster, r1));
+  instance.relations.push_back(Distribute(cluster, r2));
+  ExpectMatMulMatchesReference(cluster, instance, Options());
+}
+
+TEST_P(MatMulStrategyTest, EmptyAfterDanglingRemoval) {
+  mpc::Cluster cluster(4);
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{1, 100}, 1);
+  Relation<S> r2(Schema{1, 2});
+  r2.Add(Row{200, 2}, 1);
+  TreeInstance<S> instance{JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(Distribute(cluster, r1));
+  instance.relations.push_back(Distribute(cluster, r2));
+  DistRelation<S> got = MatMul(cluster, instance.relations[0],
+                               instance.relations[1], Options());
+  EXPECT_EQ(got.TotalSize(), 0);
+}
+
+TEST_P(MatMulStrategyTest, LowerBoundInstances) {
+  mpc::Cluster cluster(8);
+  auto thm2 = GenLowerBoundThm2<S>(cluster, 50, 120);
+  ExpectMatMulMatchesReference(cluster, thm2, Options());
+  auto thm3 = GenLowerBoundThm3<S>(cluster, 400, 400, 1600);
+  ExpectMatMulMatchesReference(cluster, thm3, Options());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, MatMulStrategyTest,
+                         ::testing::Values(MatMulStrategy::kAuto,
+                                           MatMulStrategy::kWorstCase,
+                                           MatMulStrategy::kOutputSensitive),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MatMulStrategy::kAuto:
+                               return "Auto";
+                             case MatMulStrategy::kWorstCase:
+                               return "WorstCase";
+                             case MatMulStrategy::kOutputSensitive:
+                               return "OutputSensitive";
+                           }
+                           return "Unknown";
+                         });
+
+template <typename Sr>
+class MatMulSemiringTest : public ::testing::Test {};
+
+using AllSemirings =
+    ::testing::Types<CountingSemiring, BooleanSemiring, MinPlusSemiring,
+                     MaxPlusSemiring, MaxMinSemiring>;
+TYPED_TEST_SUITE(MatMulSemiringTest, AllSemirings);
+
+TYPED_TEST(MatMulSemiringTest, AutoStrategyMatchesReference) {
+  using Sr = TypeParam;
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 500;
+  cfg.n2 = 450;
+  cfg.dom_a = 70;
+  cfg.dom_b = 25;
+  cfg.dom_c = 70;
+  cfg.skew_b = 0.6;
+  cfg.seed = 11;
+  auto instance = GenMatMulRandom<Sr>(cluster, cfg);
+  ExpectMatMulMatchesReference(cluster, instance, MatMulOptions{});
+}
+
+class MatMulClusterSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulClusterSizeTest, CorrectAcrossP) {
+  mpc::Cluster cluster(GetParam());
+  MatMulGenConfig cfg;
+  cfg.n1 = 400;
+  cfg.n2 = 400;
+  cfg.dom_a = 60;
+  cfg.dom_b = 20;
+  cfg.dom_c = 60;
+  cfg.seed = 3;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  ExpectMatMulMatchesReference(cluster, instance, MatMulOptions{});
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatMulClusterSizeTest,
+                         ::testing::Values(1, 2, 3, 8, 32, 100));
+
+TEST(MatMulLoadTest, WorstCaseLoadWithinBound) {
+  const int p = 16;
+  mpc::Cluster cluster(p);
+  MatMulBlockConfig cfg = MatMulBlockConfig::FromTargets(4000, 4000, 8);
+  auto instance = GenMatMulBlocks<S>(cluster, cfg);
+  const std::int64_t n1 = cfg.n1();
+  const std::int64_t n2 = cfg.n2();
+  cluster.ResetStats();
+  MatMulOptions options;
+  options.strategy = MatMulStrategy::kWorstCase;
+  MatMul(cluster, instance.relations[0], instance.relations[1], options);
+  const double bound =
+      static_cast<double>(n1 + n2) / p +
+      std::sqrt(static_cast<double>(n1) * static_cast<double>(n2) / p);
+  EXPECT_LE(cluster.stats().max_load,
+            static_cast<std::int64_t>(8 * bound));
+}
+
+TEST(MatMulLoadTest, OutputSensitiveBeatsYannakakisShapeOnSmallOut) {
+  // Fixed N, small OUT: the output-sensitive load must be well below
+  // N*sqrt(OUT)/p (the Yannakakis term grows with sqrt(OUT)).
+  const int p = 16;
+  mpc::Cluster cluster(p);
+  MatMulBlockConfig cfg = MatMulBlockConfig::FromTargets(8000, 256, 4);
+  auto instance = GenMatMulBlocks<S>(cluster, cfg);
+  cluster.ResetStats();
+  MatMulOptions options;
+  options.strategy = MatMulStrategy::kOutputSensitive;
+  auto result = MatMul(cluster, instance.relations[0],
+                       instance.relations[1], options);
+  const std::int64_t n = cfg.n1() + cfg.n2();
+  const std::int64_t out = result.TotalSize();
+  const double os_bound =
+      static_cast<double>(n) / p +
+      std::cbrt(static_cast<double>(cfg.n1()) * cfg.n2() * out) /
+          std::pow(static_cast<double>(p), 2.0 / 3.0);
+  EXPECT_LE(cluster.stats().max_load,
+            static_cast<std::int64_t>(10 * os_bound));
+}
+
+TEST(MatMulLoadTest, RoundsAreConstant) {
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 2000;
+  cfg.n2 = 2000;
+  cfg.dom_a = 200;
+  cfg.dom_b = 60;
+  cfg.dom_c = 200;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  cluster.ResetStats();
+  MatMul(cluster, instance.relations[0], instance.relations[1]);
+  // O(1) rounds: generous cap covering dangling removal + estimation
+  // repetitions (the Õ hides the log factor of the estimator).
+  EXPECT_LE(cluster.stats().rounds, 200);
+}
+
+}  // namespace
+}  // namespace parjoin

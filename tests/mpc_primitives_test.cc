@@ -1,0 +1,297 @@
+// Tests for the MPC core: cluster load accounting, exchange variants, and
+// the §2.1 primitives (sort, grouped sort, reduce-by-key, parallel packing,
+// multi-search).
+
+#include "parjoin/mpc/primitives.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/common/random.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/mpc/dist.h"
+#include "parjoin/mpc/exchange.h"
+
+namespace parjoin {
+namespace mpc {
+namespace {
+
+TEST(ClusterTest, ChargeRoundTracksMaxAndTotal) {
+  Cluster c(4);
+  c.ChargeRound({1, 2, 3, 4});
+  EXPECT_EQ(c.stats().rounds, 1);
+  EXPECT_EQ(c.stats().max_load, 4);
+  EXPECT_EQ(c.stats().total_comm, 10);
+  c.ChargeRound({10, 0, 0, 0});
+  EXPECT_EQ(c.stats().rounds, 2);
+  EXPECT_EQ(c.stats().max_load, 10);
+  EXPECT_EQ(c.stats().total_comm, 20);
+}
+
+TEST(ClusterTest, VirtualServersChargePhysicalHosts) {
+  Cluster c(2);
+  // Virtual servers 0..3 map to physical 0,1,0,1.
+  c.ChargeRound({1, 1, 1, 1});
+  EXPECT_EQ(c.stats().max_load, 2);
+}
+
+TEST(ClusterTest, ResetStatsClears) {
+  Cluster c(2);
+  c.ChargeRound({5, 5});
+  c.ResetStats();
+  EXPECT_EQ(c.stats().rounds, 0);
+  EXPECT_EQ(c.stats().max_load, 0);
+}
+
+TEST(DistTest, ScatterEvenlyBalances) {
+  std::vector<int> items(103);
+  std::iota(items.begin(), items.end(), 0);
+  Dist<int> d = ScatterEvenly(items, 10);
+  EXPECT_EQ(d.TotalSize(), 103);
+  EXPECT_LE(d.MaxPartSize(), 11);
+  std::vector<int> back = d.Flatten();
+  EXPECT_EQ(back, items);
+}
+
+TEST(ExchangeTest, RoutesEveryItemAndCharges) {
+  Cluster c(4);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  Dist<int> in = ScatterEvenly(items, 4);
+  Dist<int> out = Exchange(c, in, 4, [](int x) { return x % 4; });
+  EXPECT_EQ(out.TotalSize(), 100);
+  for (int s = 0; s < 4; ++s) {
+    for (int x : out.part(s)) EXPECT_EQ(x % 4, s);
+  }
+  EXPECT_EQ(c.stats().rounds, 1);
+  EXPECT_EQ(c.stats().total_comm, 100);
+  EXPECT_EQ(c.stats().max_load, 25);
+}
+
+TEST(ExchangeTest, MultiReplicates) {
+  Cluster c(3);
+  Dist<int> in = ScatterEvenly(std::vector<int>{1, 2, 3}, 3);
+  Dist<int> out = ExchangeMulti(c, in, 3, [](int, std::vector<int>* dests) {
+    dests->push_back(0);
+    dests->push_back(2);
+  });
+  EXPECT_EQ(out.part(0).size(), 3u);
+  EXPECT_EQ(out.part(1).size(), 0u);
+  EXPECT_EQ(out.part(2).size(), 3u);
+  EXPECT_EQ(c.stats().max_load, 3);
+}
+
+TEST(ExchangeTest, BroadcastDeliversEverywhere) {
+  Cluster c(5);
+  Dist<int> in = ScatterEvenly(std::vector<int>{7, 8}, 5);
+  Dist<int> out = Broadcast(c, in);
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_EQ(out.part(s), (std::vector<int>{7, 8}));
+  }
+  EXPECT_EQ(c.stats().max_load, 2);
+}
+
+TEST(ExchangeTest, GatherChargesDestination) {
+  Cluster c(4);
+  std::vector<int> items(40);
+  std::iota(items.begin(), items.end(), 0);
+  Dist<int> in = ScatterEvenly(items, 4);
+  std::vector<int> all = Gather(c, in, 0);
+  EXPECT_EQ(all.size(), 40u);
+  EXPECT_EQ(c.stats().max_load, 40);
+}
+
+TEST(SortTest, GloballySortsAndBalances) {
+  Cluster c(8);
+  Rng rng(7);
+  std::vector<std::int64_t> items;
+  for (int i = 0; i < 1000; ++i) items.push_back(rng.Uniform(0, 500));
+  Dist<std::int64_t> in = ScatterEvenly(items, 8);
+  Dist<std::int64_t> out =
+      Sort(c, in, [](std::int64_t a, std::int64_t b) { return a < b; });
+  EXPECT_EQ(out.TotalSize(), 1000);
+  std::vector<std::int64_t> flat = out.Flatten();
+  EXPECT_TRUE(std::is_sorted(flat.begin(), flat.end()));
+  EXPECT_LE(out.MaxPartSize(), 125);
+  EXPECT_LE(c.stats().max_load, 125);
+}
+
+TEST(SortGroupedTest, EqualKeysLandTogether) {
+  Cluster c(4);
+  Rng rng(11);
+  struct Item {
+    std::int64_t key;
+    int payload;
+  };
+  std::vector<Item> items;
+  for (int i = 0; i < 400; ++i) {
+    items.push_back({rng.Uniform(0, 50), i});
+  }
+  Dist<Item> in = ScatterEvenly(items, 4);
+  Dist<Item> out =
+      SortGroupedByKey(c, in, [](const Item& it) { return it.key; });
+  EXPECT_EQ(out.TotalSize(), 400);
+  // Every key appears in exactly one part.
+  std::map<std::int64_t, int> key_part;
+  for (int s = 0; s < out.num_parts(); ++s) {
+    for (const auto& it : out.part(s)) {
+      auto [pos, inserted] = key_part.emplace(it.key, s);
+      if (!inserted) {
+        EXPECT_EQ(pos->second, s) << "key split across parts";
+      }
+    }
+  }
+}
+
+TEST(ReduceByKeyTest, SumsPerKey) {
+  Cluster c(4);
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  Rng rng(3);
+  std::map<std::int64_t, std::int64_t> expected;
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t k = rng.Uniform(0, 40);
+    std::int64_t v = rng.Uniform(1, 9);
+    items.emplace_back(k, v);
+    expected[k] += v;
+  }
+  auto in = ScatterEvenly(items, 4);
+  auto out = ReduceByKey(
+      c, in, [](const auto& kv) { return kv.first; },
+      [](auto* acc, const auto& kv) { acc->second += kv.second; });
+  std::map<std::int64_t, std::int64_t> got;
+  out.ForEach([&](const auto& kv) {
+    EXPECT_EQ(got.count(kv.first), 0u) << "duplicate key in output";
+    got[kv.first] = kv.second;
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ReduceByKeyTest, SkewedKeyIsPreAggregated) {
+  // All 10k items share one key: local pre-aggregation must keep the load
+  // tiny (this is what makes reduce-by-key linear-load under skew).
+  Cluster c(8);
+  std::vector<std::pair<std::int64_t, std::int64_t>> items(
+      10000, {42, 1});
+  auto in = ScatterEvenly(items, 8);
+  auto out = ReduceByKey(
+      c, in, [](const auto& kv) { return kv.first; },
+      [](auto* acc, const auto& kv) { acc->second += kv.second; });
+  EXPECT_EQ(out.TotalSize(), 1);
+  std::int64_t total = 0;
+  out.ForEach([&](const auto& kv) { total = kv.second; });
+  EXPECT_EQ(total, 10000);
+  EXPECT_LE(c.stats().max_load, 16) << "pre-aggregation should cap the load";
+}
+
+TEST(ReduceByKeyTest, CombinesAcrossPartBoundaries) {
+  Cluster c(3);
+  // Keys chosen so the sorted order straddles part boundaries.
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  for (int i = 0; i < 9; ++i) items.emplace_back(i / 3, 1);
+  auto in = ScatterEvenly(items, 3);
+  auto out = ReduceByKey(
+      c, in, [](const auto& kv) { return kv.first; },
+      [](auto* acc, const auto& kv) { acc->second += kv.second; });
+  std::map<std::int64_t, std::int64_t> got;
+  out.ForEach([&](const auto& kv) { got[kv.first] += kv.second; });
+  EXPECT_EQ(got, (std::map<std::int64_t, std::int64_t>{{0, 3}, {1, 3}, {2, 3}}));
+  EXPECT_EQ(out.TotalSize(), 3);
+}
+
+TEST(ParallelPackingTest, RespectsCapacityAndFill) {
+  Cluster c(4);
+  Rng rng(5);
+  std::vector<PackedItem> items;
+  double total = 0;
+  for (int i = 0; i < 200; ++i) {
+    double w = rng.UniformDouble() * 0.99 + 0.01;
+    items.push_back({i, w, -1});
+    total += w;
+  }
+  auto packed = ParallelPacking(c, items);
+  std::map<int, double> group_sum;
+  for (const auto& it : packed) {
+    ASSERT_GE(it.group, 0);
+    group_sum[it.group] += it.weight;
+  }
+  int under_half = 0;
+  for (const auto& [g, sum] : group_sum) {
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    if (sum < 0.5) ++under_half;
+  }
+  EXPECT_LE(under_half, 1) << "all but one group must be at least half full";
+  EXPECT_LE(static_cast<double>(group_sum.size()), 1 + 2 * total);
+}
+
+TEST(ParallelPackingTest, SingleHeavyItemsGetOwnGroups) {
+  Cluster c(2);
+  std::vector<PackedItem> items = {{0, 0.9, -1}, {1, 0.8, -1}, {2, 0.1, -1}};
+  auto packed = ParallelPacking(c, items);
+  std::map<std::int64_t, int> group_of;
+  for (const auto& it : packed) group_of[it.id] = it.group;
+  EXPECT_NE(group_of[0], group_of[1]);
+}
+
+TEST(ParallelRegionTest, RoundsCountLongestBranch) {
+  Cluster c(4);
+  {
+    ParallelRegion region(c);
+    region.NextBranch();
+    c.ChargeRound({1, 0, 0, 0});
+    c.ChargeRound({1, 0, 0, 0});  // branch 1: 2 rounds
+    region.NextBranch();
+    c.ChargeRound({0, 5, 0, 0});  // branch 2: 1 round
+    region.NextBranch();
+    for (int i = 0; i < 5; ++i) c.ChargeRound({0, 0, 1, 0});  // 5 rounds
+  }
+  EXPECT_EQ(c.stats().rounds, 5) << "max over branches, not the sum";
+  EXPECT_EQ(c.stats().max_load, 5) << "loads unaffected";
+  EXPECT_EQ(c.stats().total_comm, 12) << "total comm unaffected";
+}
+
+TEST(ParallelRegionTest, NestedRegions) {
+  Cluster c(2);
+  {
+    ParallelRegion outer(c);
+    outer.NextBranch();
+    c.ChargeRound({1, 0});
+    {
+      ParallelRegion inner(c);
+      inner.NextBranch();
+      c.ChargeRound({1, 0});
+      c.ChargeRound({1, 0});
+      inner.NextBranch();
+      c.ChargeRound({0, 1});
+    }  // inner contributes max(2, 1) = 2 rounds
+    outer.NextBranch();
+    c.ChargeRound({0, 1});  // second outer branch: 1 round
+  }
+  EXPECT_EQ(c.stats().rounds, 3) << "1 + inner(2) vs 1 -> max is 3";
+}
+
+TEST(ParallelRegionTest, EmptyRegionAddsNothing) {
+  Cluster c(2);
+  c.ChargeRound({1, 1});
+  {
+    ParallelRegion region(c);
+    region.NextBranch();
+    region.NextBranch();
+  }
+  EXPECT_EQ(c.stats().rounds, 1);
+}
+
+TEST(MultiSearchTest, FindsPredecessors) {
+  Cluster c(4);
+  std::vector<std::int64_t> ys = {10, 20, 30};
+  std::vector<std::int64_t> xs = {5, 10, 15, 25, 35};
+  auto pred = MultiSearch(c, xs, ys);
+  EXPECT_EQ(pred, (std::vector<std::int64_t>{kNoPredecessor, 10, 10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace mpc
+}  // namespace parjoin

@@ -1,0 +1,187 @@
+// Cross-algorithm property sweep: for a grid of (query shape, cluster
+// size, skew, seed), the universal entry point TreeQueryAggregate must
+// agree exactly with the reference oracle, and the per-shape algorithms
+// must agree with each other. This is the library's main randomized
+// correctness harness.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/algorithms/tree_query.h"
+#include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+enum class Shape {
+  kMatMul,
+  kLine3,
+  kLine4,
+  kStar3,
+  kStarLikeMixed,
+  kFig1,
+  kFig2,
+  kInteriorOutputPath,
+  kGeneralTwig,
+};
+
+std::string ShapeName(Shape s) {
+  switch (s) {
+    case Shape::kMatMul: return "MatMul";
+    case Shape::kLine3: return "Line3";
+    case Shape::kLine4: return "Line4";
+    case Shape::kStar3: return "Star3";
+    case Shape::kStarLikeMixed: return "StarLikeMixed";
+    case Shape::kFig1: return "Fig1";
+    case Shape::kFig2: return "Fig2";
+    case Shape::kInteriorOutputPath: return "InteriorOutputPath";
+    case Shape::kGeneralTwig: return "GeneralTwig";
+  }
+  return "?";
+}
+
+TreeInstance<S> MakeInstance(Shape shape, mpc::Cluster& cluster,
+                             double skew, std::uint64_t seed) {
+  switch (shape) {
+    case Shape::kMatMul: {
+      MatMulGenConfig cfg;
+      cfg.n1 = 400;
+      cfg.n2 = 350;
+      cfg.dom_a = 60;
+      cfg.dom_b = 24;
+      cfg.dom_c = 60;
+      cfg.skew_b = skew;
+      cfg.seed = seed;
+      return GenMatMulRandom<S>(cluster, cfg);
+    }
+    case Shape::kLine3:
+      return GenLineRandom<S>(cluster, 3, 220, 40, skew, seed);
+    case Shape::kLine4:
+      return GenLineRandom<S>(cluster, 4, 180, 36, skew, seed);
+    case Shape::kStar3:
+      return GenStarRandom<S>(cluster, 3, 130, 30, 20, skew, seed);
+    case Shape::kStarLikeMixed: {
+      JoinTree q({{1, 0}, {2, 4}, {4, 0}, {3, 5}, {5, 6}, {6, 0}},
+                 {1, 2, 3});
+      return GenTreeRandom<S>(cluster, q, 28, 9, seed);
+    }
+    case Shape::kFig1:
+      return GenTreeRandom<S>(cluster, Fig1StarLikeQuery(), 14, 8, seed);
+    case Shape::kFig2:
+      return GenTreeRandom<S>(cluster, Fig2Query(), 20, 17, seed);
+    case Shape::kInteriorOutputPath: {
+      JoinTree q({{0, 1}, {1, 2}, {2, 3}, {3, 4}}, {0, 2, 4});
+      return GenTreeRandom<S>(cluster, q, 45, 14, seed);
+    }
+    case Shape::kGeneralTwig: {
+      JoinTree q({{5, 14}, {14, 6}, {14, 15}, {15, 7}, {15, 16}, {16, 8}},
+                 {5, 6, 7, 8});
+      return GenTreeRandom<S>(cluster, q, 26, 9, seed);
+    }
+  }
+  LOG(FATAL) << "unreachable";
+  std::abort();
+}
+
+using SweepParam = std::tuple<Shape, int, double, std::uint64_t>;
+
+std::string SweepParamName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const Shape shape = std::get<0>(info.param);
+  const int p = std::get<1>(info.param);
+  const double skew = std::get<2>(info.param);
+  const std::uint64_t seed = std::get<3>(info.param);
+  return ShapeName(shape) + "_p" + std::to_string(p) + "_skew" +
+         std::to_string(static_cast<int>(skew * 10)) + "_s" +
+         std::to_string(seed);
+}
+
+class PropertySweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PropertySweepTest, TreeEntryPointMatchesOracle) {
+  const auto [shape, p, skew, seed] = GetParam();
+  mpc::Cluster cluster(p);
+  auto instance = MakeInstance(shape, cluster, skew, seed);
+  Relation<S> expected = EvaluateReference(instance);
+  Relation<S> got = TreeQueryAggregate(cluster, instance).ToLocal();
+  got.Normalize();
+  // Align column order if the algorithm oriented the path differently.
+  if (!(got.schema() == expected.schema()) &&
+      got.schema().size() == expected.schema().size()) {
+    Relation<S> aligned(expected.schema());
+    const auto positions =
+        got.schema().PositionsOf(expected.schema().attrs());
+    for (const auto& t : got.tuples()) {
+      aligned.Add(t.row.Select(positions), t.w);
+    }
+    aligned.Normalize();
+    got = aligned;
+  }
+  EXPECT_TRUE(got == expected)
+      << ShapeName(shape) << " p=" << p << " skew=" << skew
+      << " seed=" << seed << ": got " << got.size() << " expected "
+      << expected.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PropertySweepTest,
+    ::testing::Combine(
+        ::testing::Values(Shape::kMatMul, Shape::kLine3, Shape::kLine4,
+                          Shape::kStar3, Shape::kStarLikeMixed, Shape::kFig1,
+                          Shape::kFig2, Shape::kInteriorOutputPath,
+                          Shape::kGeneralTwig),
+        ::testing::Values(1, 4, 16), ::testing::Values(0.0, 0.8),
+        ::testing::Values(1u, 2u)),
+    SweepParamName);
+
+// Cross-check the baseline against the new algorithms on the same grid
+// (cheaper subset): both are full implementations, so agreement is strong
+// evidence against correlated bugs.
+using AgreementParam = std::tuple<Shape, std::uint64_t>;
+
+std::string AgreementParamName(
+    const ::testing::TestParamInfo<AgreementParam>& info) {
+  return ShapeName(std::get<0>(info.param)) + "_s" +
+         std::to_string(std::get<1>(info.param));
+}
+
+class BaselineAgreementTest
+    : public ::testing::TestWithParam<AgreementParam> {};
+
+TEST_P(BaselineAgreementTest, YannakakisAgreesWithTreeAlgorithm) {
+  const auto [shape, seed] = GetParam();
+  mpc::Cluster c1(8), c2(8);
+  auto i1 = MakeInstance(shape, c1, 0.5, seed);
+  auto i2 = MakeInstance(shape, c2, 0.5, seed);
+  Relation<S> yann = YannakakisJoinAggregate(c1, std::move(i1)).ToLocal();
+  Relation<S> ours = TreeQueryAggregate(c2, std::move(i2)).ToLocal();
+  yann.Normalize();
+  ours.Normalize();
+  if (!(ours.schema() == yann.schema())) {
+    Relation<S> aligned(yann.schema());
+    const auto positions = ours.schema().PositionsOf(yann.schema().attrs());
+    for (const auto& t : ours.tuples()) {
+      aligned.Add(t.row.Select(positions), t.w);
+    }
+    aligned.Normalize();
+    ours = aligned;
+  }
+  EXPECT_TRUE(yann == ours) << ShapeName(shape) << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BaselineAgreementTest,
+    ::testing::Combine(::testing::Values(Shape::kMatMul, Shape::kLine3,
+                                         Shape::kStar3, Shape::kFig1,
+                                         Shape::kFig2, Shape::kGeneralTwig),
+                       ::testing::Values(11u, 12u, 13u)),
+    AgreementParamName);
+
+}  // namespace
+}  // namespace parjoin

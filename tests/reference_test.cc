@@ -1,0 +1,156 @@
+// Validates the reference (variable-elimination) evaluator against the
+// brute-force full-join evaluator on small random instances, across query
+// shapes and semirings. The reference evaluator is the oracle every MPC
+// algorithm is tested against, so it gets its own ground truth here.
+
+#include "parjoin/algorithms/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+template <SemiringC S>
+std::vector<Relation<S>> Localize(const TreeInstance<S>& instance) {
+  std::vector<Relation<S>> out;
+  for (const auto& rel : instance.relations) out.push_back(rel.ToLocal());
+  return out;
+}
+
+template <SemiringC S>
+void ExpectReferenceMatchesBruteForce(const TreeInstance<S>& instance) {
+  const auto local = Localize(instance);
+  Relation<S> brute = EvaluateBruteForce(instance.query, local);
+  Relation<S> ref = EvaluateReference(instance.query, local);
+  ASSERT_EQ(ref.schema(), brute.schema());
+  EXPECT_EQ(ref.tuples().size(), brute.tuples().size());
+  EXPECT_TRUE(ref == brute) << "mismatch on " << instance.query.DebugString();
+}
+
+template <typename S>
+class ReferenceEvaluatorTest : public ::testing::Test {};
+
+using AllSemirings =
+    ::testing::Types<CountingSemiring, BooleanSemiring, MinPlusSemiring,
+                     MaxPlusSemiring, MaxMinSemiring>;
+TYPED_TEST_SUITE(ReferenceEvaluatorTest, AllSemirings);
+
+TYPED_TEST(ReferenceEvaluatorTest, MatMulRandom) {
+  using S = TypeParam;
+  mpc::Cluster cluster(4);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    MatMulGenConfig cfg;
+    cfg.n1 = 60;
+    cfg.n2 = 50;
+    cfg.dom_a = 12;
+    cfg.dom_b = 8;
+    cfg.dom_c = 12;
+    cfg.seed = seed;
+    auto instance = GenMatMulRandom<S>(cluster, cfg);
+    ExpectReferenceMatchesBruteForce(instance);
+  }
+}
+
+TYPED_TEST(ReferenceEvaluatorTest, LineRandom) {
+  using S = TypeParam;
+  mpc::Cluster cluster(4);
+  for (int arity = 2; arity <= 4; ++arity) {
+    auto instance = GenLineRandom<S>(cluster, arity, 40, 10,
+                                     /*skew=*/0.5, /*seed=*/7);
+    ExpectReferenceMatchesBruteForce(instance);
+  }
+}
+
+TYPED_TEST(ReferenceEvaluatorTest, StarRandom) {
+  using S = TypeParam;
+  mpc::Cluster cluster(4);
+  auto instance = GenStarRandom<S>(cluster, 3, 30, 8, 6, /*skew_b=*/0.7,
+                                   /*seed=*/3);
+  ExpectReferenceMatchesBruteForce(instance);
+}
+
+TYPED_TEST(ReferenceEvaluatorTest, StarLikeFig1) {
+  using S = TypeParam;
+  mpc::Cluster cluster(4);
+  auto instance =
+      GenTreeRandom<S>(cluster, Fig1StarLikeQuery(), 12, 8, /*seed=*/11);
+  ExpectReferenceMatchesBruteForce(instance);
+}
+
+TYPED_TEST(ReferenceEvaluatorTest, EmptyOutputAttrsGiveScalar) {
+  using S = TypeParam;
+  mpc::Cluster cluster(2);
+  // Full aggregate: y = {} over a 2-chain.
+  JoinTree q({{0, 1}, {1, 2}}, {});
+  auto instance = GenTreeRandom<S>(cluster, q, 20, 5, /*seed=*/2);
+  const auto local = Localize(instance);
+  Relation<S> brute = EvaluateBruteForce(q, local);
+  Relation<S> ref = EvaluateReference(q, local);
+  EXPECT_TRUE(ref == brute);
+  EXPECT_LE(ref.size(), 1);
+  if (ref.size() == 1) {
+    EXPECT_EQ(ref.tuples()[0].row.size(), 0);
+  }
+}
+
+TEST(ReferenceEvaluatorDetailTest, HandComputedMatMul) {
+  // R1 = {(a0,b0,2), (a0,b1,3), (a1,b1,5)}
+  // R2 = {(b0,c0,7), (b1,c0,1), (b1,c1,4)}
+  // Output (a0,c0) = 2*7 + 3*1 = 17; (a0,c1) = 3*4 = 12; (a1,c0) = 5;
+  // (a1,c1) = 20.
+  using S = CountingSemiring;
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{0, 0}, 2);
+  r1.Add(Row{0, 1}, 3);
+  r1.Add(Row{1, 1}, 5);
+  Relation<S> r2(Schema{1, 2});
+  r2.Add(Row{0, 0}, 7);
+  r2.Add(Row{1, 0}, 1);
+  r2.Add(Row{1, 1}, 4);
+  JoinTree q({{0, 1}, {1, 2}}, {0, 2});
+  Relation<S> result = EvaluateReference(q, std::vector<Relation<S>>{r1, r2});
+
+  Relation<S> expected(Schema{0, 2});
+  expected.Add(Row{0, 0}, 17);
+  expected.Add(Row{0, 1}, 12);
+  expected.Add(Row{1, 0}, 5);
+  expected.Add(Row{1, 1}, 20);
+  expected.Normalize();
+  EXPECT_TRUE(result == expected);
+}
+
+TEST(ReferenceEvaluatorDetailTest, HandComputedMinPlus) {
+  // Shortest 2-hop distances.
+  using S = MinPlusSemiring;
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{0, 0}, 5);
+  r1.Add(Row{0, 1}, 2);
+  Relation<S> r2(Schema{1, 2});
+  r2.Add(Row{0, 0}, 1);
+  r2.Add(Row{1, 0}, 10);
+  JoinTree q({{0, 1}, {1, 2}}, {0, 2});
+  Relation<S> result = EvaluateReference(q, std::vector<Relation<S>>{r1, r2});
+  ASSERT_EQ(result.size(), 1);
+  EXPECT_EQ(result.tuples()[0].row, (Row{0, 0}));
+  EXPECT_EQ(result.tuples()[0].w, 6) << "min(5+1, 2+10)";
+}
+
+TEST(ReferenceEvaluatorDetailTest, DanglingTuplesContributeNothing) {
+  using S = CountingSemiring;
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{0, 0}, 2);
+  r1.Add(Row{9, 99}, 100);  // b=99 has no continuation
+  Relation<S> r2(Schema{1, 2});
+  r2.Add(Row{0, 0}, 3);
+  JoinTree q({{0, 1}, {1, 2}}, {0, 2});
+  Relation<S> result = EvaluateReference(q, std::vector<Relation<S>>{r1, r2});
+  ASSERT_EQ(result.size(), 1);
+  EXPECT_EQ(result.tuples()[0].w, 6);
+}
+
+}  // namespace
+}  // namespace parjoin

@@ -1,0 +1,245 @@
+// Robustness and failure-injection tests.
+//
+// The §3.2/§4 algorithms consume *estimates* (OUT, OUT_a) that are only
+// correct within constant factors w.h.p. Correctness must never depend on
+// them: these tests feed deliberately corrupted estimates (inflated,
+// deflated, empty, adversarially misclassifying) and require exact
+// results. Also: API misuse death tests and degenerate-input coverage.
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/matmul.h"
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/algorithms/tree_query.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/semiring/topk.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+TreeInstance<S> TestInstance(std::uint64_t seed) {
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 500;
+  cfg.n2 = 450;
+  cfg.dom_a = 70;
+  cfg.dom_b = 25;
+  cfg.dom_c = 70;
+  cfg.skew_b = 0.7;
+  cfg.seed = seed;
+  return GenMatMulRandom<S>(cluster, cfg);
+}
+
+void ExpectOsMatMulCorrectWithEstimate(const OutEstimate& est,
+                                       std::uint64_t seed) {
+  mpc::Cluster cluster(8);
+  auto instance = TestInstance(seed);
+  Relation<S> expected = EvaluateReference(instance);
+  // Dangling removal first (the algorithm's precondition), then inject.
+  auto r1 = Semijoin(cluster, instance.relations[0], instance.relations[1]);
+  auto r2 = Semijoin(cluster, instance.relations[1], r1);
+  Relation<S> got =
+      MatMulOutputSensitive(cluster, r1, r2, &est).ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected)
+      << "got " << got.size() << " expected " << expected.size();
+}
+
+TEST(EstimateInjectionTest, GrosslyInflatedTotal) {
+  OutEstimate est;
+  est.total = 1'000'000'000;
+  for (Value a = 0; a < 70; ++a) est.per_source[a] = 10'000'000;
+  ExpectOsMatMulCorrectWithEstimate(est, 1);
+}
+
+TEST(EstimateInjectionTest, GrosslyDeflatedTotal) {
+  OutEstimate est;
+  est.total = 1;
+  for (Value a = 0; a < 70; ++a) est.per_source[a] = 1;
+  ExpectOsMatMulCorrectWithEstimate(est, 2);
+}
+
+TEST(EstimateInjectionTest, EmptyPerSourceMap) {
+  // All rows will be classified light with fallback estimates.
+  OutEstimate est;
+  est.total = 500;
+  ExpectOsMatMulCorrectWithEstimate(est, 3);
+}
+
+TEST(EstimateInjectionTest, AdversarialMisclassification) {
+  // Alternate absurd over/under estimates per value: heavy/light split is
+  // then arbitrary; the result must still be exact.
+  OutEstimate est;
+  est.total = 4000;
+  for (Value a = 0; a < 70; ++a) {
+    est.per_source[a] = (a % 2 == 0) ? 1 : 100'000;
+  }
+  ExpectOsMatMulCorrectWithEstimate(est, 4);
+}
+
+TEST(EstimateInjectionTest, ForcedLinearPathOnLargeOut) {
+  // total=1 forces the OUT <= N/p LinearSparseMM path even though the
+  // real output is larger; LinearSparseMM is correct unconditionally.
+  OutEstimate est;
+  est.total = 1;
+  ExpectOsMatMulCorrectWithEstimate(est, 5);
+}
+
+TEST(DegenerateInputTest, SingleServerCluster) {
+  mpc::Cluster cluster(1);
+  auto instance = TestInstance(6);
+  Relation<S> expected = EvaluateReference(instance);
+  Relation<S> got = TreeQueryAggregate(cluster, instance).ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected);
+}
+
+TEST(DegenerateInputTest, MoreServersThanTuples) {
+  mpc::Cluster cluster(512);
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{1, 2}, 3);
+  r1.Add(Row{4, 2}, 5);
+  Relation<S> r2(Schema{1, 2});
+  r2.Add(Row{2, 9}, 7);
+  TreeInstance<S> instance{JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(Distribute(cluster, r1));
+  instance.relations.push_back(Distribute(cluster, r2));
+  Relation<S> expected = EvaluateReference(instance);
+  Relation<S> got = TreeQueryAggregate(cluster, instance).ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected);
+  EXPECT_EQ(got.size(), 2);
+}
+
+TEST(DegenerateInputTest, AllTuplesIdenticalKey) {
+  // One join value carries everything: maximal skew.
+  mpc::Cluster cluster(16);
+  Relation<S> r1(Schema{0, 1});
+  Relation<S> r2(Schema{1, 2});
+  for (int i = 0; i < 200; ++i) {
+    r1.Add(Row{i, 0}, 1);
+    r2.Add(Row{0, i}, 1);
+  }
+  TreeInstance<S> instance{JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(Distribute(cluster, r1));
+  instance.relations.push_back(Distribute(cluster, r2));
+  Relation<S> got = TreeQueryAggregate(cluster, instance).ToLocal();
+  got.Normalize();
+  EXPECT_EQ(got.size(), 200 * 200);
+}
+
+TEST(ApiMisuseDeathTest, MismatchedRelationSchema) {
+  mpc::Cluster cluster(2);
+  TreeInstance<S> instance{JoinTree({{0, 1}}, {0}), {}};
+  Relation<S> wrong(Schema{5, 6});
+  wrong.Add(Row{1, 2}, 1);
+  instance.relations.push_back(Distribute(cluster, wrong));
+  EXPECT_DEATH(instance.Validate(), "missing attribute");
+}
+
+TEST(ApiMisuseDeathTest, RowOutOfBounds) {
+  Row r{1, 2};
+  EXPECT_DEATH(r[5], "Check failed");
+}
+
+TEST(ApiMisuseDeathTest, MatMulNeedsSharedAttribute) {
+  mpc::Cluster cluster(2);
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{1, 2}, 1);
+  Relation<S> r2(Schema{2, 3});
+  r2.Add(Row{2, 3}, 1);
+  auto d1 = Distribute(cluster, r1);
+  auto d2 = Distribute(cluster, r2);
+  EXPECT_DEATH(MatMul(cluster, d1, d2), "share exactly one attr");
+}
+
+// --- Extension semiring: top-2 shortest paths ---
+
+TEST(TopTwoSemiringTest, AxiomsOnSamples) {
+  using T = TopTwoMinPlusSemiring;
+  // Carrier values are canonical pairs (best < second, or second = inf);
+  // {5, 5} style duplicates are normalized away by Plus and not valid
+  // carrier elements under distinct-cost semantics.
+  std::vector<TopTwoCosts> vals = {
+      T::Zero(), T::One(), {3, 7}, {3, TopTwoCosts::kInf}, {0, 2}, {5, 9}};
+  for (const auto& a : vals) {
+    EXPECT_EQ(T::Plus(a, T::Zero()), a);
+    EXPECT_EQ(T::Times(a, T::One()), a);
+    EXPECT_EQ(T::Times(a, T::Zero()), T::Zero());
+    EXPECT_EQ(T::Plus(a, a), a) << "declared idempotent";
+    for (const auto& b : vals) {
+      EXPECT_EQ(T::Plus(a, b), T::Plus(b, a));
+      EXPECT_EQ(T::Times(a, b), T::Times(b, a));
+      for (const auto& c : vals) {
+        EXPECT_EQ(T::Plus(T::Plus(a, b), c), T::Plus(a, T::Plus(b, c)));
+        EXPECT_EQ(T::Times(T::Times(a, b), c), T::Times(a, T::Times(b, c)));
+        EXPECT_EQ(T::Times(a, T::Plus(b, c)),
+                  T::Plus(T::Times(a, b), T::Times(a, c)));
+      }
+    }
+  }
+}
+
+TEST(TopTwoSemiringTest, TwoHopSecondShortestPath) {
+  // Paths 0 -> {x} -> 1 with costs {5+1, 2+10, 3+3}: best 6, second 12.
+  // (6 appears twice — distinct-cost semantics keep {6, 12}.)
+  using T = TopTwoMinPlusSemiring;
+  mpc::Cluster cluster(4);
+  Relation<T> r1(Schema{0, 1});
+  r1.Add(Row{0, 10}, {5, TopTwoCosts::kInf});
+  r1.Add(Row{0, 11}, {2, TopTwoCosts::kInf});
+  r1.Add(Row{0, 12}, {3, TopTwoCosts::kInf});
+  Relation<T> r2(Schema{1, 2});
+  r2.Add(Row{10, 1}, {1, TopTwoCosts::kInf});
+  r2.Add(Row{11, 1}, {10, TopTwoCosts::kInf});
+  r2.Add(Row{12, 1}, {3, TopTwoCosts::kInf});
+  TreeInstance<T> instance{JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(Distribute(cluster, r1));
+  instance.relations.push_back(Distribute(cluster, r2));
+
+  Relation<T> expected = EvaluateReference(instance);
+  ASSERT_EQ(expected.size(), 1);
+  EXPECT_EQ(expected.tuples()[0].w.best, 6);
+  EXPECT_EQ(expected.tuples()[0].w.second, 12);
+
+  Relation<T> got = TreeQueryAggregate(cluster, instance).ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected);
+}
+
+TEST(TopTwoSemiringTest, MatMulWithStructCarrier) {
+  using T = TopTwoMinPlusSemiring;
+  mpc::Cluster cluster(8);
+  auto instance = GenMatMulRandom<T>(cluster, [] {
+    MatMulGenConfig cfg;
+    cfg.n1 = 300;
+    cfg.n2 = 280;
+    cfg.dom_a = 50;
+    cfg.dom_b = 20;
+    cfg.dom_c = 50;
+    cfg.seed = 9;
+    return cfg;
+  }());
+  // The generator leaves struct carriers at One(); assign deterministic
+  // singleton costs from the row values.
+  for (auto& rel : instance.relations) {
+    for (auto& part : rel.data.parts()) {
+      for (auto& t : part) {
+        t.w = TopTwoCosts{(t.row[0] * 7 + t.row[1] * 3) % 50 + 1,
+                          TopTwoCosts::kInf};
+      }
+    }
+  }
+  Relation<T> expected = EvaluateReference(instance);
+  Relation<T> got = MatMul(cluster, instance.relations[0],
+                           instance.relations[1])
+                        .ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected);
+}
+
+}  // namespace
+}  // namespace parjoin

@@ -1,0 +1,122 @@
+// Property tests of the semiring axioms for every shipped semiring:
+// associativity and commutativity of ⊕/⊗, identities, annihilation by
+// Zero(), distributivity, and the declared idempotence flags.
+
+#include "parjoin/semiring/semirings.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/common/random.h"
+
+namespace parjoin {
+namespace {
+
+// Generates representative carrier values for semiring S, including the
+// identities and values near them.
+template <typename S>
+std::vector<typename S::ValueType> SampleValues() {
+  std::vector<typename S::ValueType> vals = {S::Zero(), S::One()};
+  Rng rng(0xabcdef);
+  for (int i = 0; i < 12; ++i) {
+    vals.push_back(static_cast<typename S::ValueType>(rng.Uniform(-50, 50)));
+  }
+  // Boolean's carrier is {0,1}; clamp so the axioms are tested in-domain.
+  if constexpr (std::is_same_v<S, BooleanSemiring>) {
+    for (auto& v : vals) v = (v != 0) ? 1 : 0;
+  }
+  return vals;
+}
+
+template <typename S>
+class SemiringAxiomsTest : public ::testing::Test {};
+
+using AllSemirings =
+    ::testing::Types<CountingSemiring, BooleanSemiring, MinPlusSemiring,
+                     MaxPlusSemiring, MaxMinSemiring>;
+TYPED_TEST_SUITE(SemiringAxiomsTest, AllSemirings);
+
+TYPED_TEST(SemiringAxiomsTest, PlusCommutativeAssociative) {
+  using S = TypeParam;
+  const auto vals = SampleValues<S>();
+  for (auto a : vals) {
+    for (auto b : vals) {
+      EXPECT_EQ(S::Plus(a, b), S::Plus(b, a));
+      for (auto c : vals) {
+        EXPECT_EQ(S::Plus(S::Plus(a, b), c), S::Plus(a, S::Plus(b, c)));
+      }
+    }
+  }
+}
+
+TYPED_TEST(SemiringAxiomsTest, TimesCommutativeAssociative) {
+  using S = TypeParam;
+  const auto vals = SampleValues<S>();
+  for (auto a : vals) {
+    for (auto b : vals) {
+      EXPECT_EQ(S::Times(a, b), S::Times(b, a));
+      for (auto c : vals) {
+        EXPECT_EQ(S::Times(S::Times(a, b), c), S::Times(a, S::Times(b, c)));
+      }
+    }
+  }
+}
+
+TYPED_TEST(SemiringAxiomsTest, Identities) {
+  using S = TypeParam;
+  for (auto a : SampleValues<S>()) {
+    EXPECT_EQ(S::Plus(a, S::Zero()), a);
+    EXPECT_EQ(S::Times(a, S::One()), a);
+  }
+}
+
+TYPED_TEST(SemiringAxiomsTest, ZeroAnnihilates) {
+  using S = TypeParam;
+  for (auto a : SampleValues<S>()) {
+    EXPECT_EQ(S::Times(a, S::Zero()), S::Zero());
+  }
+}
+
+TYPED_TEST(SemiringAxiomsTest, Distributivity) {
+  using S = TypeParam;
+  const auto vals = SampleValues<S>();
+  for (auto a : vals) {
+    for (auto b : vals) {
+      for (auto c : vals) {
+        EXPECT_EQ(S::Times(a, S::Plus(b, c)),
+                  S::Plus(S::Times(a, b), S::Times(a, c)));
+      }
+    }
+  }
+}
+
+TYPED_TEST(SemiringAxiomsTest, IdempotenceFlagMatchesBehavior) {
+  using S = TypeParam;
+  bool all_idempotent = true;
+  for (auto a : SampleValues<S>()) {
+    if (S::Plus(a, a) != a) all_idempotent = false;
+  }
+  EXPECT_EQ(all_idempotent, S::kIdempotentPlus);
+}
+
+TEST(SemiringSpecificTest, CountingMatchesIntegers) {
+  EXPECT_EQ(CountingSemiring::Plus(3, 4), 7);
+  EXPECT_EQ(CountingSemiring::Times(3, 4), 12);
+}
+
+TEST(SemiringSpecificTest, MinPlusIsShortestPathAlgebra) {
+  using S = MinPlusSemiring;
+  EXPECT_EQ(S::Plus(3, 7), 3);
+  EXPECT_EQ(S::Times(3, 7), 10);
+  EXPECT_EQ(S::Times(3, S::Zero()), S::Zero()) << "infinity is absorbing";
+}
+
+TEST(SemiringSpecificTest, MaxMinIsBottleneckAlgebra) {
+  using S = MaxMinSemiring;
+  EXPECT_EQ(S::Plus(3, 7), 7);
+  EXPECT_EQ(S::Times(3, 7), 3);
+}
+
+}  // namespace
+}  // namespace parjoin

@@ -1,0 +1,167 @@
+// Tests for the KMV sketch and the §2.2 OUT estimation on chains.
+
+#include "parjoin/sketch/kmv.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/common/hash.h"
+#include "parjoin/common/random.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/sketch/out_estimate.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+TEST(KmvTest, ExactBelowK) {
+  Kmv kmv;
+  SeededHash h(1);
+  for (int i = 0; i < Kmv::kK - 1; ++i) kmv.AddHash(h(i));
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), Kmv::kK - 1);
+}
+
+TEST(KmvTest, DeduplicatesHashes) {
+  Kmv kmv;
+  SeededHash h(1);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < 5; ++i) kmv.AddHash(h(i));
+  }
+  EXPECT_EQ(kmv.size(), 5);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 5);
+}
+
+TEST(KmvTest, EstimateWithinConstantFactor) {
+  // Median over repetitions should be within a small constant factor.
+  for (std::int64_t truth : {100, 1000, 10000}) {
+    std::vector<double> estimates;
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      Kmv kmv;
+      SeededHash h(seed * 7919);
+      for (std::int64_t i = 0; i < truth; ++i) kmv.AddHash(h(i));
+      estimates.push_back(kmv.Estimate());
+    }
+    std::nth_element(estimates.begin(),
+                     estimates.begin() + estimates.size() / 2,
+                     estimates.end());
+    const double median = estimates[estimates.size() / 2];
+    EXPECT_GT(median, truth * 0.5) << "truth " << truth;
+    EXPECT_LT(median, truth * 2.0) << "truth " << truth;
+  }
+}
+
+TEST(KmvTest, MergeEqualsUnion) {
+  SeededHash h(42);
+  Kmv a, b, both;
+  for (int i = 0; i < 500; ++i) {
+    a.AddHash(h(i));
+    both.AddHash(h(i));
+  }
+  for (int i = 300; i < 900; ++i) {
+    b.AddHash(h(i));
+    both.AddHash(h(i));
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), both.Estimate());
+}
+
+TEST(KmvTest, EmptyEstimatesZero) {
+  Kmv kmv;
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 0);
+}
+
+using S = CountingSemiring;
+
+TEST(OutEstimateTest, MatMulChainExactCountsOnBlocks) {
+  mpc::Cluster cluster(4);
+  MatMulBlockConfig cfg;
+  cfg.blocks = 6;
+  cfg.side_a = 5;
+  cfg.side_b = 3;
+  cfg.side_c = 5;
+  auto instance = GenMatMulBlocks<S>(cluster, cfg);
+  OutEstimate est = EstimateChainOut(cluster, instance.relations, {0, 1, 2});
+  // Every A value reaches exactly side_c distinct C values (< k: exact).
+  for (const auto& [a, out_a] : est.per_source) {
+    EXPECT_EQ(out_a, cfg.side_c) << "a=" << a;
+  }
+  EXPECT_EQ(est.total, cfg.out());
+}
+
+TEST(OutEstimateTest, RandomMatMulWithinConstantFactor) {
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 3000;
+  cfg.n2 = 3000;
+  cfg.dom_a = 150;
+  cfg.dom_b = 40;
+  cfg.dom_c = 2000;
+  cfg.seed = 5;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  // Ground truth via the reference evaluator.
+  Relation<S> truth = EvaluateReference(instance);
+  const std::int64_t out_true = truth.size();
+  OutEstimate est = EstimateChainOut(cluster, instance.relations, {0, 1, 2});
+  EXPECT_GT(est.total, out_true / 3);
+  EXPECT_LT(est.total, out_true * 3);
+}
+
+TEST(OutEstimateTest, LongerChain) {
+  mpc::Cluster cluster(4);
+  auto instance = GenLineRandom<S>(cluster, 4, 500, 60, 0, 9);
+  Relation<S> truth = EvaluateReference(instance);
+  OutEstimate est =
+      EstimateChainOut(cluster, instance.relations, {0, 1, 2, 3, 4});
+  const std::int64_t out_true = truth.size();
+  if (out_true == 0) {
+    EXPECT_EQ(est.total, 0);
+  } else {
+    EXPECT_GT(est.total, out_true / 3);
+    EXPECT_LT(est.total, out_true * 3);
+  }
+}
+
+TEST(OutEstimateTest, ChargesLinearLoad) {
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 4000;
+  cfg.n2 = 4000;
+  cfg.dom_a = 400;
+  cfg.dom_b = 100;
+  cfg.dom_c = 400;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  cluster.ResetStats();
+  EstimateChainOut(cluster, instance.relations, {0, 1, 2});
+  const std::int64_t n = 8000;
+  // Linear load per repetition; the constant covers hash-partition skew.
+  EXPECT_LE(cluster.stats().max_load, 6 * n / cluster.p());
+}
+
+TEST(OutEstimateTest, PerSourceEstimatesTrackTruthOnSkewedData) {
+  mpc::Cluster cluster(4);
+  MatMulGenConfig cfg;
+  cfg.n1 = 2000;
+  cfg.n2 = 2000;
+  cfg.dom_a = 100;  // few sources, large OUT_a each
+  cfg.dom_b = 30;
+  cfg.dom_c = 800;
+  cfg.skew_b = 0.8;
+  cfg.seed = 13;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  Relation<S> truth = EvaluateReference(instance);
+  std::map<Value, std::int64_t> out_a;
+  for (const auto& t : truth.tuples()) out_a[t.row[0]] += 1;
+  OutEstimate est = EstimateChainOut(cluster, instance.relations, {0, 1, 2});
+  for (const auto& [a, cnt] : out_a) {
+    const std::int64_t got = est.ForValue(a);
+    EXPECT_GT(got, cnt / 4) << "a=" << a;
+    EXPECT_LT(got, cnt * 4) << "a=" << a;
+  }
+}
+
+}  // namespace
+}  // namespace parjoin

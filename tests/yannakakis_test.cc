@@ -1,0 +1,228 @@
+// Tests for the optimal two-way MPC join and the distributed Yannakakis
+// baseline: correctness against the reference evaluator across query
+// shapes, semirings, skew levels, and cluster sizes; load-bound property
+// checks on skewed inputs.
+
+#include "parjoin/algorithms/yannakakis.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+template <SemiringC S>
+void ExpectMatchesReference(mpc::Cluster& cluster,
+                            const TreeInstance<S>& instance) {
+  Relation<S> expected = EvaluateReference(instance);
+  DistRelation<S> got_dist = YannakakisJoinAggregate(cluster, instance);
+  Relation<S> got = got_dist.ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected)
+      << instance.query.DebugString() << ": got " << got.size()
+      << " tuples, expected " << expected.size();
+}
+
+using S = CountingSemiring;
+
+TEST(TwoWayJoinTest, MatchesLocalJoin) {
+  mpc::Cluster cluster(4);
+  MatMulGenConfig cfg;
+  cfg.n1 = 300;
+  cfg.n2 = 250;
+  cfg.dom_a = 40;
+  cfg.dom_b = 15;
+  cfg.dom_c = 40;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  DistRelation<S> joined =
+      TwoWayJoin(cluster, instance.relations[0], instance.relations[1]);
+  Relation<S> got = joined.ToLocal();
+  got.Normalize();
+  Relation<S> expected = LocalJoin(instance.relations[0].ToLocal(),
+                                   instance.relations[1].ToLocal());
+  expected.Normalize();
+  EXPECT_TRUE(got == expected);
+}
+
+TEST(TwoWayJoinTest, HeavyValueGridKeepsLoadNearSqrtJOverP) {
+  // One ultra-heavy join value: d_r = d_s = 300 => J ~ 9*10^4. Plain hash
+  // partitioning would put 600 tuples on one server; the grid must cap the
+  // load near sqrt(J/p) + N/p.
+  const int p = 16;
+  mpc::Cluster cluster(p);
+  Relation<S> r(Schema{0, 1});
+  Relation<S> s(Schema{1, 2});
+  for (int i = 0; i < 300; ++i) {
+    r.Add(Row{i, 7}, 1);
+    s.Add(Row{7, i}, 1);
+  }
+  // Background light values.
+  for (int i = 0; i < 500; ++i) {
+    r.Add(Row{1000 + i, 100 + (i % 50)}, 1);
+    s.Add(Row{100 + (i % 50), 1000 + i}, 1);
+  }
+  auto dr = Distribute(cluster, r);
+  auto ds = Distribute(cluster, s);
+  cluster.ResetStats();
+  DistRelation<S> joined = TwoWayJoin(cluster, dr, ds);
+  const double j = 300.0 * 300 + 500.0 * 10;
+  const double bound = 800.0 / p + std::sqrt(j / p);
+  EXPECT_LE(cluster.stats().max_load, static_cast<std::int64_t>(6 * bound));
+  // And the join itself is correct.
+  Relation<S> got = joined.ToLocal();
+  got.Normalize();
+  Relation<S> expected = LocalJoin(dr.ToLocal(), ds.ToLocal());
+  expected.Normalize();
+  EXPECT_TRUE(got == expected);
+}
+
+TEST(TwoWayJoinTest, DisjointKeysGiveEmptyJoin) {
+  mpc::Cluster cluster(4);
+  Relation<S> r(Schema{0, 1});
+  r.Add(Row{1, 10}, 1);
+  Relation<S> s(Schema{1, 2});
+  s.Add(Row{20, 2}, 1);
+  auto joined = TwoWayJoin(cluster, Distribute(cluster, r),
+                           Distribute(cluster, s));
+  EXPECT_EQ(joined.TotalSize(), 0);
+}
+
+template <typename S>
+class YannakakisSemiringTest : public ::testing::Test {};
+
+using AllSemirings =
+    ::testing::Types<CountingSemiring, BooleanSemiring, MinPlusSemiring,
+                     MaxPlusSemiring, MaxMinSemiring>;
+TYPED_TEST_SUITE(YannakakisSemiringTest, AllSemirings);
+
+TYPED_TEST(YannakakisSemiringTest, MatMul) {
+  using Sr = TypeParam;
+  mpc::Cluster cluster(8);
+  MatMulGenConfig cfg;
+  cfg.n1 = 400;
+  cfg.n2 = 350;
+  cfg.dom_a = 60;
+  cfg.dom_b = 25;
+  cfg.dom_c = 60;
+  cfg.seed = 17;
+  auto instance = GenMatMulRandom<Sr>(cluster, cfg);
+  ExpectMatchesReference(cluster, instance);
+}
+
+TYPED_TEST(YannakakisSemiringTest, LineQuery) {
+  using Sr = TypeParam;
+  mpc::Cluster cluster(4);
+  auto instance = GenLineRandom<Sr>(cluster, 4, 200, 40, 0.4, 23);
+  ExpectMatchesReference(cluster, instance);
+}
+
+TYPED_TEST(YannakakisSemiringTest, StarQuery) {
+  using Sr = TypeParam;
+  mpc::Cluster cluster(4);
+  auto instance = GenStarRandom<Sr>(cluster, 3, 120, 30, 20, 0.6, 29);
+  ExpectMatchesReference(cluster, instance);
+}
+
+TYPED_TEST(YannakakisSemiringTest, TreeQueryFig2) {
+  using Sr = TypeParam;
+  mpc::Cluster cluster(4);
+  auto instance = GenTreeRandom<Sr>(cluster, Fig2Query(), 20, 18, 31);
+  ExpectMatchesReference(cluster, instance);
+}
+
+class YannakakisParamTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(YannakakisParamTest, MatMulAcrossClusterSizesAndSeeds) {
+  const auto [p, seed] = GetParam();
+  mpc::Cluster cluster(p);
+  MatMulGenConfig cfg;
+  cfg.n1 = 500;
+  cfg.n2 = 450;
+  cfg.dom_a = 70;
+  cfg.dom_b = 30;
+  cfg.dom_c = 70;
+  cfg.skew_b = 0.5;
+  cfg.seed = seed;
+  auto instance = GenMatMulRandom<S>(cluster, cfg);
+  ExpectMatchesReference(cluster, instance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, YannakakisParamTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 64),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(YannakakisTest, NoPushdownModeMatchesReference) {
+  mpc::Cluster cluster(8);
+  auto instance = GenLineRandom<S>(cluster, 3, 150, 30, 0.5, 43);
+  Relation<S> expected = EvaluateReference(instance);
+  YannakakisOptions options;
+  options.aggregate_pushdown = false;
+  Relation<S> got =
+      YannakakisJoinAggregate(cluster, instance, options).ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected);
+}
+
+TEST(YannakakisTest, PushdownNeverWorseOnFatMiddle) {
+  LineBlockConfig cfg;
+  cfg.arity = 3;
+  cfg.blocks = 4;
+  cfg.side_end = 4;
+  cfg.side_mid = 20;
+  mpc::Cluster c1(16), c2(16);
+  auto i1 = GenLineBlocks<S>(c1, cfg);
+  auto i2 = GenLineBlocks<S>(c2, cfg);
+  YannakakisOptions no_push;
+  no_push.aggregate_pushdown = false;
+  YannakakisJoinAggregate(c1, std::move(i1), no_push);
+  YannakakisJoinAggregate(c2, std::move(i2));
+  EXPECT_GE(c1.stats().max_load, c2.stats().max_load);
+}
+
+TEST(YannakakisTest, BlockInstanceExactOut) {
+  mpc::Cluster cluster(8);
+  MatMulBlockConfig cfg;
+  cfg.blocks = 5;
+  cfg.side_a = 6;
+  cfg.side_b = 3;
+  cfg.side_c = 6;
+  auto instance = GenMatMulBlocks<S>(cluster, cfg);
+  auto result = YannakakisJoinAggregate(cluster, instance);
+  EXPECT_EQ(result.TotalSize(), cfg.out());
+}
+
+TEST(YannakakisTest, StarLikeFig1Query) {
+  mpc::Cluster cluster(4);
+  auto instance = GenTreeRandom<S>(cluster, Fig1StarLikeQuery(), 12, 8, 37);
+  ExpectMatchesReference(cluster, instance);
+}
+
+TEST(YannakakisTest, ScalarAggregate) {
+  mpc::Cluster cluster(4);
+  auto instance = GenTreeRandom<S>(
+      cluster, JoinTree({{0, 1}, {1, 2}}, {}), 60, 10, 41);
+  ExpectMatchesReference(cluster, instance);
+}
+
+TEST(YannakakisTest, EmptyJoinGivesEmptyResult) {
+  mpc::Cluster cluster(4);
+  Relation<S> r1(Schema{0, 1});
+  r1.Add(Row{1, 5}, 1);
+  Relation<S> r2(Schema{1, 2});
+  r2.Add(Row{6, 2}, 1);  // no shared B value
+  TreeInstance<S> instance{JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(Distribute(cluster, r1));
+  instance.relations.push_back(Distribute(cluster, r2));
+  auto result = YannakakisJoinAggregate(cluster, instance);
+  EXPECT_EQ(result.TotalSize(), 0);
+}
+
+}  // namespace
+}  // namespace parjoin
