@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_starlike.dir/bench_fig1_starlike.cc.o"
+  "CMakeFiles/bench_fig1_starlike.dir/bench_fig1_starlike.cc.o.d"
+  "bench_fig1_starlike"
+  "bench_fig1_starlike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_starlike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

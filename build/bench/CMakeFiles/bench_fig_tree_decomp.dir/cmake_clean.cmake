@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_tree_decomp.dir/bench_fig_tree_decomp.cc.o"
+  "CMakeFiles/bench_fig_tree_decomp.dir/bench_fig_tree_decomp.cc.o.d"
+  "bench_fig_tree_decomp"
+  "bench_fig_tree_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_tree_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matmul_crossover.dir/bench_matmul_crossover.cc.o"
+  "CMakeFiles/bench_matmul_crossover.dir/bench_matmul_crossover.cc.o.d"
+  "bench_matmul_crossover"
+  "bench_matmul_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matmul_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_matmul_crossover.
+# This may be replaced when dependencies are built.

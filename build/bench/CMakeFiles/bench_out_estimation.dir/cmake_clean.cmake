@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_out_estimation.dir/bench_out_estimation.cc.o"
+  "CMakeFiles/bench_out_estimation.dir/bench_out_estimation.cc.o.d"
+  "bench_out_estimation"
+  "bench_out_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_out_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_p.dir/bench_scaling_p.cc.o"
+  "CMakeFiles/bench_scaling_p.dir/bench_scaling_p.cc.o.d"
+  "bench_scaling_p"
+  "bench_scaling_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

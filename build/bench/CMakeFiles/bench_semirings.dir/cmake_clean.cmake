@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semirings.dir/bench_semirings.cc.o"
+  "CMakeFiles/bench_semirings.dir/bench_semirings.cc.o.d"
+  "bench_semirings"
+  "bench_semirings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semirings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_line.dir/bench_table1_line.cc.o"
+  "CMakeFiles/bench_table1_line.dir/bench_table1_line.cc.o.d"
+  "bench_table1_line"
+  "bench_table1_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_matmul.dir/bench_table1_matmul.cc.o"
+  "CMakeFiles/bench_table1_matmul.dir/bench_table1_matmul.cc.o.d"
+  "bench_table1_matmul"
+  "bench_table1_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

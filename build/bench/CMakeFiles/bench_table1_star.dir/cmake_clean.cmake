@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_star.dir/bench_table1_star.cc.o"
+  "CMakeFiles/bench_table1_star.dir/bench_table1_star.cc.o.d"
+  "bench_table1_star"
+  "bench_table1_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tree.dir/bench_table1_tree.cc.o"
+  "CMakeFiles/bench_table1_tree.dir/bench_table1_tree.cc.o.d"
+  "bench_table1_tree"
+  "bench_table1_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

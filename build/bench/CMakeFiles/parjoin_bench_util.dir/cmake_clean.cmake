@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parjoin_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/parjoin_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/parjoin_bench_util.dir/bounds.cc.o"
+  "CMakeFiles/parjoin_bench_util.dir/bounds.cc.o.d"
+  "libparjoin_bench_util.a"
+  "libparjoin_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parjoin_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_provenance_tree.dir/provenance_tree.cpp.o"
+  "CMakeFiles/example_provenance_tree.dir/provenance_tree.cpp.o.d"
+  "example_provenance_tree"
+  "example_provenance_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_provenance_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_query_runner.dir/query_runner.cpp.o"
+  "CMakeFiles/example_query_runner.dir/query_runner.cpp.o.d"
+  "example_query_runner"
+  "example_query_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_query_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_retail_star.dir/retail_star.cpp.o"
+  "CMakeFiles/example_retail_star.dir/retail_star.cpp.o.d"
+  "example_retail_star"
+  "example_retail_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_retail_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shortest_path_line.dir/shortest_path_line.cpp.o"
+  "CMakeFiles/example_shortest_path_line.dir/shortest_path_line.cpp.o.d"
+  "example_shortest_path_line"
+  "example_shortest_path_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shortest_path_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

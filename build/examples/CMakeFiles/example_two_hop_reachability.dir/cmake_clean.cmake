@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_two_hop_reachability.dir/two_hop_reachability.cpp.o"
+  "CMakeFiles/example_two_hop_reachability.dir/two_hop_reachability.cpp.o.d"
+  "example_two_hop_reachability"
+  "example_two_hop_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_two_hop_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parjoin/common/logging.cc" "src/CMakeFiles/parjoin.dir/parjoin/common/logging.cc.o" "gcc" "src/CMakeFiles/parjoin.dir/parjoin/common/logging.cc.o.d"
+  "/root/repo/src/parjoin/common/parallel_for.cc" "src/CMakeFiles/parjoin.dir/parjoin/common/parallel_for.cc.o" "gcc" "src/CMakeFiles/parjoin.dir/parjoin/common/parallel_for.cc.o.d"
+  "/root/repo/src/parjoin/common/table_printer.cc" "src/CMakeFiles/parjoin.dir/parjoin/common/table_printer.cc.o" "gcc" "src/CMakeFiles/parjoin.dir/parjoin/common/table_printer.cc.o.d"
+  "/root/repo/src/parjoin/mpc/primitives.cc" "src/CMakeFiles/parjoin.dir/parjoin/mpc/primitives.cc.o" "gcc" "src/CMakeFiles/parjoin.dir/parjoin/mpc/primitives.cc.o.d"
+  "/root/repo/src/parjoin/query/join_tree.cc" "src/CMakeFiles/parjoin.dir/parjoin/query/join_tree.cc.o" "gcc" "src/CMakeFiles/parjoin.dir/parjoin/query/join_tree.cc.o.d"
+  "/root/repo/src/parjoin/relation/io.cc" "src/CMakeFiles/parjoin.dir/parjoin/relation/io.cc.o" "gcc" "src/CMakeFiles/parjoin.dir/parjoin/relation/io.cc.o.d"
+  "/root/repo/src/parjoin/relation/ops.cc" "src/CMakeFiles/parjoin.dir/parjoin/relation/ops.cc.o" "gcc" "src/CMakeFiles/parjoin.dir/parjoin/relation/ops.cc.o.d"
+  "/root/repo/src/parjoin/workload/generators.cc" "src/CMakeFiles/parjoin.dir/parjoin/workload/generators.cc.o" "gcc" "src/CMakeFiles/parjoin.dir/parjoin/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

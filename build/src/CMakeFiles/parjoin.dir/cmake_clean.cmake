@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parjoin.dir/parjoin/common/logging.cc.o"
+  "CMakeFiles/parjoin.dir/parjoin/common/logging.cc.o.d"
+  "CMakeFiles/parjoin.dir/parjoin/common/parallel_for.cc.o"
+  "CMakeFiles/parjoin.dir/parjoin/common/parallel_for.cc.o.d"
+  "CMakeFiles/parjoin.dir/parjoin/common/table_printer.cc.o"
+  "CMakeFiles/parjoin.dir/parjoin/common/table_printer.cc.o.d"
+  "CMakeFiles/parjoin.dir/parjoin/mpc/primitives.cc.o"
+  "CMakeFiles/parjoin.dir/parjoin/mpc/primitives.cc.o.d"
+  "CMakeFiles/parjoin.dir/parjoin/query/join_tree.cc.o"
+  "CMakeFiles/parjoin.dir/parjoin/query/join_tree.cc.o.d"
+  "CMakeFiles/parjoin.dir/parjoin/relation/io.cc.o"
+  "CMakeFiles/parjoin.dir/parjoin/relation/io.cc.o.d"
+  "CMakeFiles/parjoin.dir/parjoin/relation/ops.cc.o"
+  "CMakeFiles/parjoin.dir/parjoin/relation/ops.cc.o.d"
+  "CMakeFiles/parjoin.dir/parjoin/workload/generators.cc.o"
+  "CMakeFiles/parjoin.dir/parjoin/workload/generators.cc.o.d"
+  "libparjoin.a"
+  "libparjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parjoin.
+# This may be replaced when dependencies are built.

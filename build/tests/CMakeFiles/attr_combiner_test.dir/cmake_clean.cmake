@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_combiner_test.dir/attr_combiner_test.cc.o"
+  "CMakeFiles/attr_combiner_test.dir/attr_combiner_test.cc.o.d"
+  "attr_combiner_test"
+  "attr_combiner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_combiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

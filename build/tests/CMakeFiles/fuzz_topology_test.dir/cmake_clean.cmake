@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_topology_test.dir/fuzz_topology_test.cc.o"
+  "CMakeFiles/fuzz_topology_test.dir/fuzz_topology_test.cc.o.d"
+  "fuzz_topology_test"
+  "fuzz_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_star_test.dir/line_star_test.cc.o"
+  "CMakeFiles/line_star_test.dir/line_star_test.cc.o.d"
+  "line_star_test"
+  "line_star_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_bounds_test.dir/load_bounds_test.cc.o"
+  "CMakeFiles/load_bounds_test.dir/load_bounds_test.cc.o.d"
+  "load_bounds_test"
+  "load_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_test.dir/matmul_test.cc.o"
+  "CMakeFiles/matmul_test.dir/matmul_test.cc.o.d"
+  "matmul_test"
+  "matmul_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_primitives_test.dir/mpc_primitives_test.cc.o"
+  "CMakeFiles/mpc_primitives_test.dir/mpc_primitives_test.cc.o.d"
+  "mpc_primitives_test"
+  "mpc_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

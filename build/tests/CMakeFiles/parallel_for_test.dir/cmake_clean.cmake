@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_for_test.dir/parallel_for_test.cc.o"
+  "CMakeFiles/parallel_for_test.dir/parallel_for_test.cc.o.d"
+  "parallel_for_test"
+  "parallel_for_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_for_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_ops_test.dir/relation_ops_test.cc.o"
+  "CMakeFiles/relation_ops_test.dir/relation_ops_test.cc.o.d"
+  "relation_ops_test"
+  "relation_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

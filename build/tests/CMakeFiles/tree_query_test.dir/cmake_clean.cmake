@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_query_test.dir/tree_query_test.cc.o"
+  "CMakeFiles/tree_query_test.dir/tree_query_test.cc.o.d"
+  "tree_query_test"
+  "tree_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

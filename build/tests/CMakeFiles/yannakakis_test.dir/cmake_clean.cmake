@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yannakakis_test.dir/yannakakis_test.cc.o"
+  "CMakeFiles/yannakakis_test.dir/yannakakis_test.cc.o.d"
+  "yannakakis_test"
+  "yannakakis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yannakakis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
