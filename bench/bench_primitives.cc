@@ -1,15 +1,24 @@
-// E10 — §2.1 MPC primitives: throughput (google-benchmark) and the
-// linear-load property (printed table). Every primitive must stay at
-// O(N/p) load; the table reports measured load / (N/p) ratios.
+// E10 — §2.1 MPC primitives: the multi-thread scaling sweep (wall time at
+// fixed N, p across PARJOIN_THREADS settings, outputs and loads verified
+// bit-identical), the linear-load property (printed table), and micro
+// throughput (google-benchmark). Every primitive must stay at O(N/p)
+// load; the table reports measured load / (N/p) ratios. Sweep results are
+// appended to the BENCH_parjoin.json trajectory.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <functional>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
+#include "parjoin/common/logging.h"
+#include "parjoin/common/parallel_for.h"
 #include "parjoin/common/random.h"
+#include "parjoin/common/stopwatch.h"
 #include "parjoin/common/table_printer.h"
 #include "parjoin/mpc/cluster.h"
 #include "parjoin/mpc/exchange.h"
@@ -91,6 +100,94 @@ void BM_KmvInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_KmvInsert);
 
+// One thread-sweep measurement: a primitive run under a forced thread
+// count. The output parts and the cluster ledger are captured so every
+// setting can be verified bit-identical to the sequential run.
+struct SweepOutcome {
+  bench::RunResult result;
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> parts;
+};
+
+void RunThreadSweep(std::vector<bench::BenchJsonEntry>* json_entries) {
+  const std::int64_t n = 1 << 20;
+  const int p = 64;
+  std::cout << "Thread scaling (N = 2^20, p = " << p
+            << "; outputs and Stats verified identical across settings):\n";
+  auto items = MakePairs(n, n, 1);
+  const auto input = mpc::ScatterEvenly(std::move(items), p);
+
+  using Primitive =
+      std::function<SweepOutcome(mpc::Cluster&,
+                                 const mpc::Dist<std::pair<std::int64_t,
+                                                           std::int64_t>>&)>;
+  const std::vector<std::pair<std::string, Primitive>> primitives = {
+      {"sort",
+       [](mpc::Cluster& c, const auto& in) {
+         auto out = mpc::Sort(c, in, [](const auto& a, const auto& b) {
+           return a.first < b.first;
+         });
+         return SweepOutcome{{}, std::move(out.parts())};
+       }},
+      {"exchange",
+       [](mpc::Cluster& c, const auto& in) {
+         auto out = mpc::Exchange(c, in, 64, [](const auto& kv) {
+           return static_cast<int>(
+               Mix64(static_cast<std::uint64_t>(kv.first)) % 64);
+         });
+         return SweepOutcome{{}, std::move(out.parts())};
+       }},
+      {"reduce-by-key",
+       [](mpc::Cluster& c, const auto& in) {
+         auto out = mpc::ReduceByKey(
+             c, in, [](const auto& kv) { return kv.first % 4096; },
+             [](auto* acc, const auto& kv) { acc->second += kv.second; });
+         return SweepOutcome{{}, std::move(out.parts())};
+       }},
+  };
+
+  TablePrinter table({"primitive", "threads", "wall_ms", "speedup",
+                      "max_load", "rounds"});
+  for (const auto& [name, primitive] : primitives) {
+    SweepOutcome sequential;
+    for (int threads : {1, 2, 4, 8}) {
+      SetParallelForThreads(threads);
+      mpc::Cluster c(p);
+      Stopwatch watch;
+      SweepOutcome outcome = primitive(c, input);
+      outcome.result.wall_ms = watch.ElapsedMillis();
+      outcome.result.load = c.stats().max_load;
+      outcome.result.rounds = c.stats().rounds;
+      outcome.result.total_comm = c.stats().total_comm;
+      if (threads == 1) {
+        sequential = outcome;
+      } else {
+        CHECK(outcome.parts == sequential.parts)
+            << name << ": output differs at threads=" << threads;
+        CHECK_EQ(outcome.result.load, sequential.result.load);
+        CHECK_EQ(outcome.result.rounds, sequential.result.rounds);
+        CHECK_EQ(outcome.result.total_comm, sequential.result.total_comm);
+      }
+      table.AddRow({name, Fmt(static_cast<std::int64_t>(threads)),
+                    Fmt(outcome.result.wall_ms),
+                    bench::Ratio(sequential.result.wall_ms,
+                                 outcome.result.wall_ms),
+                    Fmt(outcome.result.load),
+                    Fmt(static_cast<std::int64_t>(outcome.result.rounds))});
+      bench::BenchJsonEntry entry;
+      entry.experiment = "E10";
+      entry.name = name + "/n=1048576/p=64/threads=" + std::to_string(threads);
+      entry.n = n;
+      entry.p = p;
+      entry.threads = threads;
+      entry.result = outcome.result;
+      json_entries->push_back(std::move(entry));
+    }
+  }
+  SetParallelForThreads(0);
+  table.Print(std::cout);
+  std::cout << std::endl;
+}
+
 void PrintLinearLoadTable() {
   using parjoin::bench::Ratio;
   std::cout << "\nLinear-load property (N = 2^18, p = 64; ratio = measured "
@@ -160,9 +257,20 @@ void PrintLinearLoadTable() {
 }  // namespace parjoin
 
 int main(int argc, char** argv) {
-  parjoin::bench::PrintHeader("E10", "§2.1 primitive costs",
-                              "Linear-load table, then micro throughput.");
+  parjoin::bench::PrintHeader(
+      "E10", "§2.1 primitive costs",
+      "Thread scaling, linear-load table, then micro throughput.");
+  std::vector<parjoin::bench::BenchJsonEntry> entries;
+  parjoin::RunThreadSweep(&entries);
   parjoin::PrintLinearLoadTable();
+  const std::string json_path = parjoin::bench::BenchJsonPath();
+  std::string error;
+  if (parjoin::bench::UpdateBenchJson(json_path, "E10", entries, &error)) {
+    std::cout << "wrote " << entries.size() << " E10 entries to " << json_path
+              << "\n";
+  } else {
+    std::cerr << "BENCH json: " << error << "\n";
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -17,6 +19,7 @@
 #include "parjoin/algorithms/hypercube.h"
 #include "parjoin/algorithms/matmul.h"
 #include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/common/parallel_for.h"
 #include "parjoin/common/table_printer.h"
 #include "parjoin/workload/generators.h"
 
@@ -26,7 +29,9 @@ namespace {
 using S = CountingSemiring;
 
 void RunSweep(const std::string& title, int p,
-              const std::vector<MatMulBlockConfig>& configs) {
+              const std::vector<MatMulBlockConfig>& configs,
+              const std::string& sweep_tag,
+              std::vector<bench::BenchJsonEntry>* json_entries) {
   std::cout << title << " (p = " << p << ")\n";
   TablePrinter table({"N1", "N2", "OUT", "L_yannakakis", "L_hypercube",
                       "L_theorem1", "speedup", "bound_yann", "bound_thm1",
@@ -60,6 +65,20 @@ void RunSweep(const std::string& title, int p,
                                             p)),
                   Fmt(static_cast<std::int64_t>(ours.rounds)),
                   Fmt(ours.wall_ms)});
+    const std::pair<const char*, const bench::RunResult*> algos[] = {
+        {"yannakakis", &yann}, {"hypercube", &hc}, {"thm1", &ours}};
+    for (const auto& [algo, run] : algos) {
+      bench::BenchJsonEntry entry;
+      entry.experiment = "E1";
+      entry.name = sweep_tag + "/N1=" + std::to_string(cfg.n1()) +
+                   "/N2=" + std::to_string(cfg.n2()) +
+                   "/OUT=" + std::to_string(out_measured) + "/" + algo;
+      entry.n = cfg.n1() + cfg.n2();
+      entry.p = p;
+      entry.threads = ParallelForThreads();
+      entry.result = *run;
+      json_entries->push_back(std::move(entry));
+    }
   }
   table.Print(std::cout);
   std::cout << std::endl;
@@ -77,17 +96,19 @@ int main() {
       "evaluate the Table 1 expressions with constant 1.");
 
   const int p = 64;
+  std::vector<bench::BenchJsonEntry> json_entries;
   std::vector<MatMulBlockConfig> out_sweep;
   for (std::int64_t out : {512, 2048, 8192, 32768, 131072}) {
     out_sweep.push_back(MatMulBlockConfig::FromTargets(20000, out, 8));
   }
-  RunSweep("Sweep OUT at N ~ 20,000", p, out_sweep);
+  RunSweep("Sweep OUT at N ~ 20,000", p, out_sweep, "out-sweep",
+           &json_entries);
 
   std::vector<MatMulBlockConfig> n_sweep;
   for (std::int64_t n : {4000, 8000, 16000, 32000}) {
     n_sweep.push_back(MatMulBlockConfig::FromTargets(n, 4096, 8));
   }
-  RunSweep("Sweep N at OUT ~ 4,096", p, n_sweep);
+  RunSweep("Sweep N at OUT ~ 4,096", p, n_sweep, "n-sweep", &json_entries);
 
   std::vector<MatMulBlockConfig> unbalanced;
   {
@@ -103,6 +124,15 @@ int main() {
     cfg.side_c = 25;
     unbalanced.push_back(cfg);
   }
-  RunSweep("Unequal N1/N2", p, unbalanced);
+  RunSweep("Unequal N1/N2", p, unbalanced, "unbalanced", &json_entries);
+
+  const std::string json_path = bench::BenchJsonPath();
+  std::string error;
+  if (bench::UpdateBenchJson(json_path, "E1", json_entries, &error)) {
+    std::cout << "wrote " << json_entries.size() << " E1 entries to "
+              << json_path << "\n";
+  } else {
+    std::cerr << "BENCH json: " << error << "\n";
+  }
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 namespace parjoin {
 namespace bench {
@@ -32,6 +35,76 @@ void PrintHeader(const std::string& experiment_id,
             << " ===\n";
   if (!note.empty()) std::cout << note << "\n";
   std::cout << std::endl;
+}
+
+namespace {
+
+std::string FormatEntry(const BenchJsonEntry& e) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"experiment\": \"%s\", \"name\": \"%s\", "
+                "\"n\": %lld, \"p\": %d, \"threads\": %d, "
+                "\"wall_ms\": %.3f, \"max_load\": %lld, \"rounds\": %d, "
+                "\"total_comm\": %lld}",
+                e.experiment.c_str(), e.name.c_str(),
+                static_cast<long long>(e.n), e.p, e.threads,
+                e.result.wall_ms, static_cast<long long>(e.result.load),
+                e.result.rounds,
+                static_cast<long long>(e.result.total_comm));
+  return buf;
+}
+
+// Extracts the experiment id from a line previously written by
+// FormatEntry; empty string if the line is not an entry line.
+std::string EntryExperiment(const std::string& line) {
+  const std::string marker = "{\"experiment\": \"";
+  const std::size_t start = line.find(marker);
+  if (start == std::string::npos) return "";
+  const std::size_t id_begin = start + marker.size();
+  const std::size_t id_end = line.find('"', id_begin);
+  if (id_end == std::string::npos) return "";
+  return line.substr(id_begin, id_end - id_begin);
+}
+
+}  // namespace
+
+std::string BenchJsonPath() {
+  if (const char* env = std::getenv("PARJOIN_BENCH_JSON")) return env;
+  return "BENCH_parjoin.json";
+}
+
+bool UpdateBenchJson(const std::string& path, const std::string& experiment,
+                     const std::vector<BenchJsonEntry>& entries,
+                     std::string* error) {
+  // Keep entry lines of other experiments from a previous run.
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      // Strip a trailing comma so kept lines re-join cleanly below.
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      const std::string id = EntryExperiment(line);
+      if (!id.empty() && id != experiment) kept.push_back(line);
+    }
+  }
+  for (const auto& e : entries) kept.push_back(FormatEntry(e));
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << "{\n  \"schema\": \"parjoin-bench-v1\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    out << kept[i] << (i + 1 < kept.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace bench

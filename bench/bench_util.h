@@ -1,6 +1,7 @@
 // Shared helpers for the paper-table benchmark binaries: run an algorithm
 // on a fresh cluster, collect (load, rounds, total communication, wall
-// time), and format report rows.
+// time), format report rows, and persist machine-readable results to the
+// BENCH_parjoin.json perf trajectory.
 
 #ifndef PARJOIN_BENCH_BENCH_UTIL_H_
 #define PARJOIN_BENCH_BENCH_UTIL_H_
@@ -8,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "parjoin/common/stopwatch.h"
 #include "parjoin/mpc/cluster.h"
@@ -32,6 +34,35 @@ std::string Ratio(double numerator, double denominator);
 // Prints the standard bench banner (experiment id, paper artifact, note).
 void PrintHeader(const std::string& experiment_id,
                  const std::string& paper_artifact, const std::string& note);
+
+// --- Machine-readable trajectory (BENCH_parjoin.json) -----------------------
+//
+// Each bench binary appends its rows to a shared JSON file so the perf
+// trajectory across PRs has data points. One entry = one measured
+// configuration. `name` must be unique within the experiment and must not
+// contain '"' (no escaping is performed).
+
+struct BenchJsonEntry {
+  std::string experiment;  // e.g. "E1"
+  std::string name;        // e.g. "sort/n=1048576/p=64/threads=4"
+  std::int64_t n = 0;      // input size (0 if not meaningful)
+  int p = 0;               // servers
+  int threads = 0;         // ParallelForThreads() at measurement time
+  RunResult result;
+};
+
+// Path of the trajectory file: $PARJOIN_BENCH_JSON if set, else
+// "BENCH_parjoin.json" in the current directory.
+std::string BenchJsonPath();
+
+// Rewrites the trajectory file at `path`, replacing every existing entry
+// of `experiment` with `entries` and preserving entries of other
+// experiments. Returns false (and sets *error) on I/O failure. The file
+// format is one entry object per line inside a top-level "entries" array;
+// UpdateBenchJson only reparses lines it wrote itself.
+bool UpdateBenchJson(const std::string& path, const std::string& experiment,
+                     const std::vector<BenchJsonEntry>& entries,
+                     std::string* error);
 
 }  // namespace bench
 }  // namespace parjoin

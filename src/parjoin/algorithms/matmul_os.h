@@ -70,7 +70,7 @@ DistRelation<S> LinearSparseMM(mpc::Cluster& cluster,
   }
 
   mpc::Dist<Tagged> by_b = mpc::SortGroupedByKey(
-      cluster, tagged, [&](const Tagged& x) {
+      cluster, std::move(tagged), [&](const Tagged& x) {
         return x.from_r1 ? x.t.row[m.b1_pos] : x.t.row[m.b2_pos];
       });
 

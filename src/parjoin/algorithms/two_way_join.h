@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "parjoin/common/checked_math.h"
 #include "parjoin/common/hash.h"
 #include "parjoin/common/logging.h"
 #include "parjoin/common/parallel_for.h"
@@ -84,7 +85,9 @@ DistRelation<S> TwoWayJoin(mpc::Cluster& cluster, const DistRelation<S>& r,
     for (const auto& vc : ds_parted.part(part)) {
       auto it = dr_map.find(vc.value);
       if (it == dr_map.end()) continue;
-      join_size += it->second * vc.count;
+      // Degree products on skewed instances can exceed int64; a wrapped J
+      // would corrupt the heavy threshold, so overflow aborts loudly.
+      join_size = CheckedAdd(join_size, CheckedMul(it->second, vc.count));
       pairs.push_back({vc.value, {it->second, vc.count}});
     }
   }
@@ -97,9 +100,11 @@ DistRelation<S> TwoWayJoin(mpc::Cluster& cluster, const DistRelation<S>& r,
   if (!options.handle_skew) pairs.clear();  // ablation: no grids
   for (const auto& [value, degs] : pairs) {
     const auto [deg_r, deg_s] = degs;
-    if (deg_r * deg_s <= heavy_threshold) continue;
+    const std::int64_t prod = CheckedMul(deg_r, deg_s);
+    if (prod <= heavy_threshold) continue;
+    // ceil(prod / threshold) without the `prod + threshold - 1` overflow.
     const std::int64_t pb =
-        (deg_r * deg_s + heavy_threshold - 1) / heavy_threshold;
+        prod / heavy_threshold + (prod % heavy_threshold != 0 ? 1 : 0);
     internal_join::HeavyGrid grid;
     const double ratio = static_cast<double>(deg_r) /
                          std::max<double>(1.0, static_cast<double>(deg_s));

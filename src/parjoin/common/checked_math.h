@@ -1,0 +1,63 @@
+// Overflow-guarded int64 arithmetic.
+//
+// Degree products and join-size accumulations (e.g. TwoWayJoin's
+// J = Σ d_r(b)·d_s(b)) can overflow int64 on adversarially skewed
+// instances; a wrapped value silently corrupts the heavy threshold and
+// every routing decision downstream. These helpers either detect
+// (MulOverflows/AddOverflows), clamp (SaturatingMul/SaturatingAdd), or
+// fail loudly (CheckedMul/CheckedAdd abort via CHECK).
+
+#ifndef PARJOIN_COMMON_CHECKED_MATH_H_
+#define PARJOIN_COMMON_CHECKED_MATH_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "parjoin/common/logging.h"
+
+namespace parjoin {
+
+inline bool MulOverflows(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+
+inline bool AddOverflows(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+
+// a*b clamped to the int64 range.
+inline std::int64_t SaturatingMul(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (!__builtin_mul_overflow(a, b, &out)) return out;
+  const bool negative = (a < 0) != (b < 0);
+  return negative ? std::numeric_limits<std::int64_t>::min()
+                  : std::numeric_limits<std::int64_t>::max();
+}
+
+// a+b clamped to the int64 range.
+inline std::int64_t SaturatingAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (!__builtin_add_overflow(a, b, &out)) return out;
+  return a < 0 ? std::numeric_limits<std::int64_t>::min()
+               : std::numeric_limits<std::int64_t>::max();
+}
+
+// a*b, aborting with a diagnostic on overflow.
+inline std::int64_t CheckedMul(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  CHECK(!__builtin_mul_overflow(a, b, &out))
+      << "int64 overflow: " << a << " * " << b;
+  return out;
+}
+
+// a+b, aborting with a diagnostic on overflow.
+inline std::int64_t CheckedAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  CHECK(!__builtin_add_overflow(a, b, &out))
+      << "int64 overflow: " << a << " + " << b;
+  return out;
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_COMMON_CHECKED_MATH_H_

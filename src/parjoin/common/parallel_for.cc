@@ -1,19 +1,35 @@
 #include "parjoin/common/parallel_for.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace parjoin {
 
+namespace {
+
+std::atomic<int> g_thread_override{0};
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("PARJOIN_THREADS")) {
+    const int requested = std::atoi(env);
+    return std::max(1, requested);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+}  // namespace
+
 int ParallelForThreads() {
-  static const int threads = [] {
-    if (const char* env = std::getenv("PARJOIN_THREADS")) {
-      const int requested = std::atoi(env);
-      return std::max(1, requested);
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return std::max(1, static_cast<int>(hw));
-  }();
+  const int override_threads =
+      g_thread_override.load(std::memory_order_relaxed);
+  if (override_threads > 0) return override_threads;
+  static const int threads = DefaultThreads();
   return threads;
+}
+
+void SetParallelForThreads(int threads) {
+  g_thread_override.store(std::max(0, threads), std::memory_order_relaxed);
 }
 
 }  // namespace parjoin

@@ -2,12 +2,14 @@
 // per-index work.
 //
 // The MPC simulator's local computation (one hash join per virtual
-// server) is embarrassingly parallel: every part writes only its own
-// output slot. ParallelFor runs fn(i) for i in [0, n) on up to
-// HardwareThreads() threads with static chunking — results are
-// bit-identical to sequential execution because iterations never share
-// state. Thread count can be overridden with PARJOIN_THREADS (0 or 1
-// disables threading; useful for debugging).
+// server, one local sort per part, one routing pass per source part) is
+// embarrassingly parallel: every index writes only its own output slot.
+// ParallelFor runs fn(i) for i in [0, n) on up to HardwareThreads()
+// threads with static chunking — results are bit-identical to sequential
+// execution because iterations never share state. Thread count can be
+// overridden with PARJOIN_THREADS (0 or 1 disables threading; useful for
+// debugging) or at runtime with SetParallelForThreads (tests and benches
+// that compare threaded vs. sequential execution in one process).
 
 #ifndef PARJOIN_COMMON_PARALLEL_FOR_H_
 #define PARJOIN_COMMON_PARALLEL_FOR_H_
@@ -20,6 +22,11 @@ namespace parjoin {
 
 // Number of worker threads ParallelFor will use (>= 1).
 int ParallelForThreads();
+
+// Overrides the thread count for the current process. threads <= 0
+// restores the default (PARJOIN_THREADS env var, else hardware
+// concurrency). Not safe to call while a ParallelFor is running.
+void SetParallelForThreads(int threads);
 
 // Runs fn(i) for every i in [0, n). fn must not touch state shared
 // across iterations (other than read-only data).

@@ -9,6 +9,7 @@
 #define PARJOIN_MPC_DIST_H_
 
 #include <cstdint>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -64,6 +65,21 @@ class Dist {
     return out;
   }
 
+  // Like Flatten, but moves the elements out instead of copying; the Dist
+  // is left with the same number of parts, all empty. Used by primitives
+  // that consume their input (Sort, Rebalance) to avoid a full copy.
+  std::vector<T> TakeFlatten() {
+    std::vector<T> out;
+    out.reserve(static_cast<size_t>(TotalSize()));
+    for (auto& part : parts_) {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+      part.clear();
+      part.shrink_to_fit();
+    }
+    return out;
+  }
+
   // Applies fn to every element of every part (read-only).
   template <typename Fn>
   void ForEach(Fn fn) const {
@@ -78,7 +94,8 @@ class Dist {
 
 // Splits `items` into `num_parts` nearly equal contiguous chunks. This is
 // the canonical "initially, data is evenly distributed" placement (§1.3);
-// it models input residency and charges nothing.
+// it models input residency and charges nothing. Elements are moved out
+// of `items` (the parameter is by-value: pass std::move to avoid a copy).
 template <typename T>
 Dist<T> ScatterEvenly(std::vector<T> items, int num_parts) {
   CHECK_GT(num_parts, 0);
@@ -88,7 +105,8 @@ Dist<T> ScatterEvenly(std::vector<T> items, int num_parts) {
   std::int64_t pos = 0;
   for (int s = 0; s < num_parts && pos < n; ++s) {
     const std::int64_t end = std::min(n, pos + chunk);
-    out.part(s).assign(items.begin() + pos, items.begin() + end);
+    out.part(s).assign(std::make_move_iterator(items.begin() + pos),
+                       std::make_move_iterator(items.begin() + end));
     pos = end;
   }
   return out;

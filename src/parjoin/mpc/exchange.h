@@ -6,37 +6,111 @@
 // higher-level primitives and algorithms move data exclusively through the
 // functions in this header, so the Cluster ledger sees every tuple that
 // crosses a server boundary.
+//
+// Threading: routing and delivery are executed with ParallelFor — first a
+// per-source-part bucketing pass (each source part routes independently),
+// then a per-destination concatenation in source-part order. Output parts
+// and charged loads are bit-identical to the sequential walk because the
+// delivery order per destination is exactly the sequential encounter
+// order. Route functors may be invoked concurrently and therefore must be
+// pure (no mutation of shared state); every route in the codebase is a
+// hash of the item.
 
 #ifndef PARJOIN_MPC_EXCHANGE_H_
 #define PARJOIN_MPC_EXCHANGE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "parjoin/common/logging.h"
+#include "parjoin/common/parallel_for.h"
 #include "parjoin/mpc/cluster.h"
 #include "parjoin/mpc/dist.h"
 
 namespace parjoin {
 namespace mpc {
 
+namespace internal_exchange {
+
+// Below this many items the bucketed two-phase route is pure overhead.
+inline constexpr std::int64_t kMinItemsForThreadedRoute = 1 << 12;
+
+// The bucket matrix allocates num_src * num_dest vectors; beyond this the
+// memory overhead outweighs the parallelism (fall back to the sequential
+// walk, which needs only the output parts).
+inline constexpr std::int64_t kMaxBucketMatrix = std::int64_t{1} << 22;
+
+inline bool UseThreadedRoute(std::int64_t total_items, int num_src,
+                             int num_dest) {
+  return ParallelForThreads() > 1 && num_src > 1 &&
+         total_items >= kMinItemsForThreadedRoute &&
+         static_cast<std::int64_t>(num_src) * num_dest <= kMaxBucketMatrix;
+}
+
+// Concatenates buckets[s][d] over s (source order) into out->part(d) for
+// every destination d, in parallel over destinations; fills received[d].
+template <typename T>
+void DeliverBuckets(std::vector<std::vector<std::vector<T>>>* buckets,
+                    Dist<T>* out, std::vector<std::int64_t>* received) {
+  const int num_src = static_cast<int>(buckets->size());
+  const int num_dest = out->num_parts();
+  ParallelFor(num_dest, [&](int d) {
+    std::size_t total = 0;
+    for (int s = 0; s < num_src; ++s) total += (*buckets)[s][d].size();
+    auto& dst = out->part(d);
+    dst.reserve(total);
+    for (int s = 0; s < num_src; ++s) {
+      auto& bucket = (*buckets)[s][d];
+      for (auto& item : bucket) dst.push_back(std::move(item));
+    }
+    (*received)[static_cast<std::size_t>(d)] =
+        static_cast<std::int64_t>(total);
+  });
+}
+
+}  // namespace internal_exchange
+
 // One round: routes every item to route(item) in [0, num_dest_parts).
 // Destinations beyond p are virtual servers (charged to v mod p).
+// `route` must be pure: it may run concurrently across source parts.
 template <typename T, typename Route>
 Dist<T> Exchange(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
                  Route route) {
   CHECK_GT(num_dest_parts, 0);
   Dist<T> out(num_dest_parts);
   std::vector<std::int64_t> received(static_cast<size_t>(num_dest_parts), 0);
-  for (const auto& part : in.parts()) {
-    for (const auto& item : part) {
+  const int num_src = in.num_parts();
+  if (!internal_exchange::UseThreadedRoute(in.TotalSize(), num_src,
+                                           num_dest_parts)) {
+    for (const auto& part : in.parts()) {
+      for (const auto& item : part) {
+        const int dest = route(item);
+        CHECK_GE(dest, 0);
+        CHECK_LT(dest, num_dest_parts);
+        out.part(dest).push_back(item);
+        received[static_cast<size_t>(dest)] += 1;
+      }
+    }
+    cluster.ChargeRound(received);
+    return out;
+  }
+
+  // Phase 1: every source part buckets its items by destination.
+  std::vector<std::vector<std::vector<T>>> buckets(
+      static_cast<size_t>(num_src));
+  ParallelFor(num_src, [&](int s) {
+    auto& local = buckets[static_cast<size_t>(s)];
+    local.resize(static_cast<size_t>(num_dest_parts));
+    for (const auto& item : in.part(s)) {
       const int dest = route(item);
       CHECK_GE(dest, 0);
       CHECK_LT(dest, num_dest_parts);
-      out.part(dest).push_back(item);
-      received[static_cast<size_t>(dest)] += 1;
+      local[static_cast<size_t>(dest)].push_back(item);
     }
-  }
+  });
+  // Phase 2: every destination concatenates its buckets in source order.
+  internal_exchange::DeliverBuckets(&buckets, &out, &received);
   cluster.ChargeRound(received);
   return out;
 }
@@ -44,30 +118,56 @@ Dist<T> Exchange(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
 // One round with replication: route_multi(item, &dests) appends every
 // destination the item should reach. Used for broadcast-style steps
 // (e.g. replicating one side of a heavy join across a server group).
+// `route_multi` must be pure: it may run concurrently across source parts.
 template <typename T, typename RouteMulti>
 Dist<T> ExchangeMulti(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
                       RouteMulti route_multi) {
   CHECK_GT(num_dest_parts, 0);
   Dist<T> out(num_dest_parts);
   std::vector<std::int64_t> received(static_cast<size_t>(num_dest_parts), 0);
-  std::vector<int> dests;
-  for (const auto& part : in.parts()) {
-    for (const auto& item : part) {
+  const int num_src = in.num_parts();
+  if (!internal_exchange::UseThreadedRoute(in.TotalSize(), num_src,
+                                           num_dest_parts)) {
+    std::vector<int> dests;
+    for (const auto& part : in.parts()) {
+      for (const auto& item : part) {
+        dests.clear();
+        route_multi(item, &dests);
+        for (int dest : dests) {
+          CHECK_GE(dest, 0);
+          CHECK_LT(dest, num_dest_parts);
+          out.part(dest).push_back(item);
+          received[static_cast<size_t>(dest)] += 1;
+        }
+      }
+    }
+    cluster.ChargeRound(received);
+    return out;
+  }
+
+  std::vector<std::vector<std::vector<T>>> buckets(
+      static_cast<size_t>(num_src));
+  ParallelFor(num_src, [&](int s) {
+    auto& local = buckets[static_cast<size_t>(s)];
+    local.resize(static_cast<size_t>(num_dest_parts));
+    std::vector<int> dests;
+    for (const auto& item : in.part(s)) {
       dests.clear();
       route_multi(item, &dests);
       for (int dest : dests) {
         CHECK_GE(dest, 0);
         CHECK_LT(dest, num_dest_parts);
-        out.part(dest).push_back(item);
-        received[static_cast<size_t>(dest)] += 1;
+        local[static_cast<size_t>(dest)].push_back(item);
       }
     }
-  }
+  });
+  internal_exchange::DeliverBuckets(&buckets, &out, &received);
   cluster.ChargeRound(received);
   return out;
 }
 
-// Sends every item to the single (virtual) server `dest_part`.
+// Sends every item to the single (virtual) server `dest_part` (ids >= p are
+// virtual; the charge lands on physical server dest_part mod p).
 template <typename T>
 std::vector<T> Gather(Cluster& cluster, const Dist<T>& in, int dest_part = 0) {
   std::vector<std::int64_t> received(
@@ -80,24 +180,27 @@ std::vector<T> Gather(Cluster& cluster, const Dist<T>& in, int dest_part = 0) {
 }
 
 // Broadcast: every one of the cluster's p servers receives all items.
-// Load: TotalSize() per server, one round.
+// Load: TotalSize() per server, one round. The per-server copies are made
+// in parallel; the last part takes the flattened buffer by move.
 template <typename T>
 Dist<T> Broadcast(Cluster& cluster, const Dist<T>& in) {
+  const int p = cluster.p();
   std::vector<T> all = in.Flatten();
-  Dist<T> out(cluster.p());
-  std::vector<std::int64_t> received(static_cast<size_t>(cluster.p()),
+  Dist<T> out(p);
+  std::vector<std::int64_t> received(static_cast<size_t>(p),
                                      static_cast<std::int64_t>(all.size()));
-  for (int s = 0; s < cluster.p(); ++s) out.part(s) = all;
+  ParallelFor(p - 1, [&](int s) { out.part(s) = all; });
+  out.part(p - 1) = std::move(all);
   cluster.ChargeRound(received);
   return out;
 }
 
 // Rebalances items into `num_parts` equal chunks (a "shuffle to even out"
-// round, load ceil(N/num_parts) per server).
+// round, load ceil(N/num_parts) per server). Consumes its input: pass
+// std::move(dist) to avoid copying the parts.
 template <typename T>
-Dist<T> Rebalance(Cluster& cluster, const Dist<T>& in, int num_parts) {
-  std::vector<T> all = in.Flatten();
-  Dist<T> out = ScatterEvenly(std::move(all), num_parts);
+Dist<T> Rebalance(Cluster& cluster, Dist<T> in, int num_parts) {
+  Dist<T> out = ScatterEvenly(in.TakeFlatten(), num_parts);
   std::vector<std::int64_t> received(static_cast<size_t>(num_parts), 0);
   for (int s = 0; s < num_parts; ++s) {
     received[static_cast<size_t>(s)] =

@@ -9,17 +9,25 @@
 //    and charges ceil(N/p) per server per round for the documented number
 //    of rounds. Used only where the distributed-internal bookkeeping adds
 //    nothing to the measured comparison (e.g. parallel packing).
+//
+// Threading discipline: hot loops whose iterations touch disjoint parts
+// (local sorts, pre-aggregation, pairwise merges) run under ParallelFor.
+// Key/compare/combine functors may be invoked concurrently across parts
+// and must not mutate shared state. Outputs and charged loads are
+// bit-identical for every thread count (PARJOIN_THREADS=1 included).
 
 #ifndef PARJOIN_MPC_PRIMITIVES_H_
 #define PARJOIN_MPC_PRIMITIVES_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <limits>
 #include <utility>
 #include <vector>
 
 #include "parjoin/common/logging.h"
+#include "parjoin/common/parallel_for.h"
 #include "parjoin/mpc/cluster.h"
 #include "parjoin/mpc/dist.h"
 #include "parjoin/mpc/exchange.h"
@@ -27,18 +35,66 @@
 namespace parjoin {
 namespace mpc {
 
+namespace internal_primitives {
+
+// Merges sorted runs into one globally sorted vector, reproducing exactly
+// the order a stable sort of the run-order concatenation would produce
+// (ties resolve to the lower run index, and within a run to the original
+// order). Pairwise merge rounds; the merges of one round are independent
+// and execute under ParallelFor. Elements are moved, never copied.
+template <typename T, typename Less>
+std::vector<T> MergeSortedRuns(std::vector<std::vector<T>> runs, Less less) {
+  if (runs.empty()) return {};
+  while (runs.size() > 1) {
+    const int pairs = static_cast<int>(runs.size() / 2);
+    std::vector<std::vector<T>> next((runs.size() + 1) / 2);
+    ParallelFor(pairs, [&](int i) {
+      auto& a = runs[static_cast<size_t>(2 * i)];
+      auto& b = runs[static_cast<size_t>(2 * i + 1)];
+      std::vector<T> merged;
+      merged.reserve(a.size() + b.size());
+      // std::merge takes from the first range on ties, so the lower part
+      // index wins — exactly the stable order of the concatenation.
+      std::merge(std::make_move_iterator(a.begin()),
+                 std::make_move_iterator(a.end()),
+                 std::make_move_iterator(b.begin()),
+                 std::make_move_iterator(b.end()),
+                 std::back_inserter(merged), less);
+      a.clear();
+      a.shrink_to_fit();
+      b.clear();
+      b.shrink_to_fit();
+      next[static_cast<size_t>(i)] = std::move(merged);
+    });
+    if (runs.size() % 2 == 1) next.back() = std::move(runs.back());
+    runs = std::move(next);
+  }
+  return std::move(runs.front());
+}
+
+}  // namespace internal_primitives
+
 // --- Sorting [Goodrich '99] -------------------------------------------------
 //
 // Redistributes items so that part i holds the i-th contiguous chunk of the
 // globally sorted order, chunks of size ceil(N/num_parts). As-executed
 // charge: each part receives its chunk (one round; the real algorithm's
 // splitter-sampling rounds move asymptotically less data).
+//
+// Execution: each part is stable-sorted locally (independent; threaded via
+// ParallelFor), then a p-way merge rebuilds the global stable order. The
+// result — data, placement, and charged loads — is bit-identical for any
+// thread count, including the fully sequential PARJOIN_THREADS=1 path.
+// Consumes its input: pass std::move(dist) to avoid copying the parts.
 template <typename T, typename Less>
-Dist<T> Sort(Cluster& cluster, const Dist<T>& in, Less less,
-             int num_parts = 0) {
+Dist<T> Sort(Cluster& cluster, Dist<T> in, Less less, int num_parts = 0) {
   if (num_parts == 0) num_parts = cluster.p();
-  std::vector<T> all = in.Flatten();
-  std::stable_sort(all.begin(), all.end(), less);
+  ParallelFor(in.num_parts(), [&](int s) {
+    auto& part = in.part(s);
+    std::stable_sort(part.begin(), part.end(), less);
+  });
+  std::vector<T> all =
+      internal_primitives::MergeSortedRuns(std::move(in.parts()), less);
   Dist<T> out = ScatterEvenly(std::move(all), num_parts);
   std::vector<std::int64_t> received(static_cast<size_t>(num_parts), 0);
   for (int s = 0; s < num_parts; ++s) {
@@ -56,13 +112,14 @@ Dist<T> Sort(Cluster& cluster, const Dist<T>& in, Less less,
 // As-executed: the sort round plus one fix round charging the moved tuples.
 // Only sensible when every key group fits on a server (callers guarantee
 // this, e.g. LinearSparseMM where degrees are < N/p).
+// Consumes its input: pass std::move(dist) to avoid copying the parts.
 template <typename T, typename KeyFn>
-Dist<T> SortGroupedByKey(Cluster& cluster, const Dist<T>& in, KeyFn key_fn,
+Dist<T> SortGroupedByKey(Cluster& cluster, Dist<T> in, KeyFn key_fn,
                          int num_parts = 0) {
   if (num_parts == 0) num_parts = cluster.p();
   using Key = decltype(key_fn(std::declval<const T&>()));
   Dist<T> sorted = Sort(
-      cluster, in,
+      cluster, std::move(in),
       [&](const T& a, const T& b) { return key_fn(a) < key_fn(b); },
       num_parts);
 
@@ -103,8 +160,9 @@ Dist<T> ReduceByKey(Cluster& cluster, const Dist<T>& in, KeyFn key_fn,
   if (num_parts == 0) num_parts = cluster.p();
 
   // Local pre-aggregation: sort each part by key, combine adjacent equals.
+  // Parts are independent, so the pass is threaded via ParallelFor.
   Dist<T> pre(in.num_parts());
-  for (int s = 0; s < in.num_parts(); ++s) {
+  ParallelFor(in.num_parts(), [&](int s) {
     std::vector<T> local = in.part(s);
     std::stable_sort(local.begin(), local.end(),
                      [&](const T& a, const T& b) {
@@ -118,11 +176,11 @@ Dist<T> ReduceByKey(Cluster& cluster, const Dist<T>& in, KeyFn key_fn,
         out_part.push_back(std::move(item));
       }
     }
-  }
+  });
 
   // Global sort of pre-aggregated items.
   Dist<T> sorted = Sort(
-      cluster, pre,
+      cluster, std::move(pre),
       [&](const T& a, const T& b) { return key_fn(a) < key_fn(b); },
       num_parts);
 

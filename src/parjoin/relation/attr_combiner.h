@@ -76,7 +76,8 @@ CombinedRelation<S> CombineAttrs(mpc::Cluster& cluster,
     }
   }
   mpc::Dist<Row> sorted = mpc::Sort(
-      cluster, keys, [](const Row& a, const Row& b) { return a < b; }, p);
+      cluster, std::move(keys), [](const Row& a, const Row& b) { return a < b; },
+      p);
   cluster.ChargeUniformRound(1);  // prefix-sum of per-part distinct counts
 
   // Per-part: drop duplicates across parts (the sort may split a run) and

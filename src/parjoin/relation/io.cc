@@ -1,5 +1,6 @@
 #include "parjoin/relation/io.h"
 
+#include <cctype>
 #include <cstdlib>
 
 namespace parjoin {
@@ -9,12 +10,24 @@ bool ParseCsvInt64Line(const std::string& line, int expected_fields,
                        std::vector<std::int64_t>* fields,
                        std::string* error) {
   fields->clear();
+  // Tolerate CRLF line endings: a single trailing '\r' is not data.
+  std::size_t size = line.size();
+  if (size > 0 && line[size - 1] == '\r') --size;
   std::size_t pos = 0;
-  while (pos <= line.size()) {
-    const std::size_t comma = line.find(',', pos);
+  while (pos <= size) {
+    std::size_t comma = line.find(',', pos);
+    if (comma >= size) comma = std::string::npos;
     const std::string token =
-        line.substr(pos, comma == std::string::npos ? std::string::npos
+        line.substr(pos, comma == std::string::npos ? size - pos
                                                     : comma - pos);
+    // strtoll silently skips leading whitespace; reject any whitespace in
+    // the token so " 1" and "1 " fail the same way "1 2" does.
+    for (char ch : token) {
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        *error = "whitespace in integer field '" + token + "'";
+        return false;
+      }
+    }
     char* end = nullptr;
     errno = 0;
     const long long value = std::strtoll(token.c_str(), &end, 10);

@@ -51,6 +51,8 @@ bool LoadRelationCsv(const std::string& path, const Schema& schema,
   std::vector<std::int64_t> fields;
   while (std::getline(in, line)) {
     ++line_number;
+    // Tolerate CRLF files: getline leaves the '\r' on the line.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     if (!internal_io::ParseCsvInt64Line(line, schema.size() + 1, &fields,
                                         error)) {

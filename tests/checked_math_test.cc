@@ -1,0 +1,46 @@
+// Tests for overflow-guarded int64 arithmetic (common/checked_math.h):
+// exact results in range, saturation at the rails, and loud aborts from
+// the Checked* variants that protect TwoWayJoin's heavy threshold.
+
+#include "parjoin/common/checked_math.h"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace parjoin {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+TEST(CheckedMathTest, DetectsOverflow) {
+  std::int64_t out = 0;
+  EXPECT_FALSE(MulOverflows(1 << 20, 1 << 20, &out));
+  EXPECT_EQ(out, std::int64_t{1} << 40);
+  EXPECT_TRUE(MulOverflows(std::int64_t{1} << 32, std::int64_t{1} << 32, &out));
+  EXPECT_FALSE(AddOverflows(kMax - 1, 1, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_TRUE(AddOverflows(kMax, 1, &out));
+}
+
+TEST(CheckedMathTest, SaturatesAtTheRails) {
+  EXPECT_EQ(SaturatingMul(3, 7), 21);
+  EXPECT_EQ(SaturatingMul(std::int64_t{1} << 32, std::int64_t{1} << 32), kMax);
+  EXPECT_EQ(SaturatingMul(std::int64_t{1} << 32, -(std::int64_t{1} << 32)),
+            kMin);
+  EXPECT_EQ(SaturatingAdd(kMax, kMax), kMax);
+  EXPECT_EQ(SaturatingAdd(kMin, -1), kMin);
+  EXPECT_EQ(SaturatingAdd(5, -3), 2);
+}
+
+TEST(CheckedMathDeathTest, CheckedVariantsFailLoudly) {
+  EXPECT_EQ(CheckedMul(1 << 10, 1 << 10), 1 << 20);
+  EXPECT_EQ(CheckedAdd(kMax - 5, 5), kMax);
+  EXPECT_DEATH(CheckedMul(std::int64_t{1} << 62, 4), "overflow");
+  EXPECT_DEATH(CheckedAdd(kMax, 1), "overflow");
+}
+
+}  // namespace
+}  // namespace parjoin

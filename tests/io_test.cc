@@ -78,6 +78,45 @@ TEST_F(IoTest, RejectsNonInteger) {
   std::remove(path.c_str());
 }
 
+TEST_F(IoTest, AcceptsCrlfLineEndings) {
+  // Files written on Windows terminate lines with \r\n; the \r is not
+  // data. Blank CRLF lines and CRLF comments must be skipped too.
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "# comment\r\n1,2,3\r\n\r\n4,5,6\r\n");
+  Relation<S> loaded;
+  std::string error;
+  ASSERT_TRUE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.size(), 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, RejectsWhitespaceInFields) {
+  // strtoll silently skips leading whitespace, which would make " 1" and
+  // "1" parse identically; whitespace anywhere in a field is an error.
+  for (const std::string content : {"1, 2,3\n", " 1,2,3\n", "1,2 ,3\n",
+                                    "1,\t2,3\n"}) {
+    const std::string path = TempPath("whitespace.csv");
+    WriteFile(path, content);
+    Relation<S> loaded;
+    std::string error;
+    EXPECT_FALSE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error))
+        << "accepted: " << content;
+    EXPECT_NE(error.find("whitespace"), std::string::npos) << error;
+    EXPECT_EQ(loaded.size(), 0);
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(IoTest, ParseLineHandlesCrlfAndRejectsInnerCr) {
+  std::vector<std::int64_t> fields;
+  std::string error;
+  EXPECT_TRUE(internal_io::ParseCsvInt64Line("1,2\r", 2, &fields, &error))
+      << error;
+  EXPECT_EQ(fields, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_FALSE(internal_io::ParseCsvInt64Line("1\r,2", 2, &fields, &error));
+  EXPECT_NE(error.find("whitespace"), std::string::npos) << error;
+}
+
 TEST_F(IoTest, MissingFileReportsPath) {
   Relation<S> loaded;
   std::string error;

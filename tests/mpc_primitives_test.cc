@@ -95,6 +95,20 @@ TEST(ExchangeTest, BroadcastDeliversEverywhere) {
   EXPECT_EQ(c.stats().max_load, 2);
 }
 
+TEST(ExchangeTest, GatherToVirtualServerChargesPhysicalHost) {
+  // A destination id >= p is a virtual server hosted on dest mod p; the
+  // charge must land there and the data must still arrive intact.
+  Cluster c(4);
+  std::vector<int> items(24);
+  std::iota(items.begin(), items.end(), 0);
+  Dist<int> in = ScatterEvenly(items, 4);
+  std::vector<int> all = Gather(c, in, /*dest_part=*/9);
+  EXPECT_EQ(all, items);
+  EXPECT_EQ(c.stats().rounds, 1);
+  EXPECT_EQ(c.stats().max_load, 24);
+  EXPECT_EQ(c.stats().total_comm, 24);
+}
+
 TEST(ExchangeTest, GatherChargesDestination) {
   Cluster c(4);
   std::vector<int> items(40);
@@ -145,6 +159,41 @@ TEST(SortGroupedTest, EqualKeysLandTogether) {
       }
     }
   }
+}
+
+TEST(SortGroupedTest, RunSpanningManyPartsLandsOnRunStart) {
+  // 6 parts of 3 items each; key 2 occupies the sorted middle (9 copies),
+  // so its run spans parts 1, 2, and 3 (more than two consecutive
+  // servers). The fix round must move the whole run to the part where it
+  // starts, not just merge one boundary.
+  Cluster c(6);
+  struct Item {
+    std::int64_t key;
+    int payload;
+  };
+  std::vector<Item> items;
+  const std::int64_t keys[] = {1, 1, 1, 2, 2, 2, 2, 2, 2,
+                               2, 2, 2, 3, 3, 3, 4, 4, 4};
+  for (int i = 0; i < 18; ++i) items.push_back({keys[i], i});
+  Dist<Item> in = ScatterEvenly(items, 6);
+  Dist<Item> out = SortGroupedByKey(
+      c, in, [](const Item& it) { return it.key; }, 6);
+  EXPECT_EQ(out.TotalSize(), 18);
+  std::map<std::int64_t, int> key_part;
+  std::map<std::int64_t, int> key_count;
+  for (int s = 0; s < out.num_parts(); ++s) {
+    for (const auto& it : out.part(s)) {
+      auto [pos, inserted] = key_part.emplace(it.key, s);
+      if (!inserted) {
+        EXPECT_EQ(pos->second, s) << "key " << it.key << " split across parts";
+      }
+      key_count[it.key] += 1;
+    }
+  }
+  EXPECT_EQ(key_count[2], 9);
+  // The run of key 2 starts in part 1 (sorted layout: part 0 = {1,1,1},
+  // part 1 = {2,2,2}, ...), so that's where all of it must live.
+  EXPECT_EQ(key_part[2], 1);
 }
 
 TEST(ReduceByKeyTest, SumsPerKey) {
@@ -200,6 +249,32 @@ TEST(ReduceByKeyTest, CombinesAcrossPartBoundaries) {
   out.ForEach([&](const auto& kv) { got[kv.first] += kv.second; });
   EXPECT_EQ(got, (std::map<std::int64_t, std::int64_t>{{0, 3}, {1, 3}, {2, 3}}));
   EXPECT_EQ(out.TotalSize(), 3);
+}
+
+TEST(ReduceByKeyTest, KeyRunSpanningManyPartsCombinesIntoRunStart) {
+  // After pre-aggregation, one item with key 7 survives per source part;
+  // the global sort spreads the run of key 7 over parts 0..3 (it starts
+  // mid-part 0, after key 1). The boundary fix must walk back across
+  // MULTIPLE parts and combine everything into the run's start.
+  Cluster c(4);
+  std::vector<std::pair<std::int64_t, std::int64_t>> items = {
+      {1, 1}, {7, 1}, {7, 2}, {7, 3}, {7, 4}, {7, 5}, {7, 6}, {9, 1}};
+  auto in = ScatterEvenly(items, 4);  // 2 items per source part
+  auto out = ReduceByKey(
+      c, in, [](const auto& kv) { return kv.first; },
+      [](auto* acc, const auto& kv) { acc->second += kv.second; });
+  std::map<std::int64_t, std::int64_t> got;
+  int parts_with_key7 = 0;
+  for (int s = 0; s < out.num_parts(); ++s) {
+    for (const auto& kv : out.part(s)) {
+      EXPECT_EQ(got.count(kv.first), 0u) << "duplicate key " << kv.first;
+      got[kv.first] = kv.second;
+      if (kv.first == 7) ++parts_with_key7;
+    }
+  }
+  EXPECT_EQ(got, (std::map<std::int64_t, std::int64_t>{
+                     {1, 1}, {7, 21}, {9, 1}}));
+  EXPECT_EQ(parts_with_key7, 1);
 }
 
 TEST(ParallelPackingTest, RespectsCapacityAndFill) {

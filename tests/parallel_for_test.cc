@@ -60,6 +60,21 @@ TEST(ParallelForTest, ThreadCountIsAtLeastOne) {
   EXPECT_GE(ParallelForThreads(), 1);
 }
 
+TEST(ParallelForTest, SetParallelForThreadsOverridesAndRestores) {
+  const int default_threads = ParallelForThreads();
+  SetParallelForThreads(3);
+  EXPECT_EQ(ParallelForThreads(), 3);
+  // The override must actually drive execution: with 3 workers every
+  // index is still visited exactly once.
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(100, [&](int i) { hits[static_cast<size_t>(i)] += 1; });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1);
+  }
+  SetParallelForThreads(0);
+  EXPECT_EQ(ParallelForThreads(), default_threads);
+}
+
 TEST(ParallelForIntegrationTest, MatMulResultAndLedgerThreadIndependent) {
   // The ledger (charged before local computation) and the normalized
   // result must be identical however many threads execute the local
