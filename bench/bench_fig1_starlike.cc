@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "bounds.h"
+#include "parjoin/plan/cost_model.h"
 #include "parjoin/algorithms/starlike_query.h"
 #include "parjoin/algorithms/yannakakis.h"
 #include "parjoin/common/table_printer.h"
@@ -58,7 +58,7 @@ int main() {
          Fmt(ours.load),
          bench::Ratio(static_cast<double>(yann.load),
                       static_cast<double>(ours.load)),
-         Fmt(bench::NewLineStarBound(tuples, out_measured, p)),
+         Fmt(plan::NewLineStarBound(tuples, out_measured, p)),
          Fmt(ours.wall_ms)});
   }
   table.Print(std::cout);

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "bounds.h"
+#include "parjoin/plan/cost_model.h"
 #include "parjoin/algorithms/matmul.h"
 #include "parjoin/common/table_printer.h"
 #include "parjoin/workload/generators.h"
@@ -75,7 +75,7 @@ int main() {
                              std::move(instance.relations[1]));
         out_measured = result.TotalSize();
       });
-      const double lb = bench::MatMulLowerBound(n1, n2, out_measured, p);
+      const double lb = plan::MatMulLowerBound(n1, n2, out_measured, p);
       table.AddRow({Fmt(n1), Fmt(n2), Fmt(out_measured), Fmt(r.load),
                     Fmt(lb),
                     bench::Ratio(static_cast<double>(r.load), lb)});

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "bounds.h"
+#include "parjoin/plan/cost_model.h"
 #include "parjoin/algorithms/matmul.h"
 #include "parjoin/common/table_printer.h"
 #include "parjoin/workload/generators.h"

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "bounds.h"
+#include "parjoin/plan/cost_model.h"
 #include "parjoin/algorithms/line_query.h"
 #include "parjoin/algorithms/matmul.h"
 #include "parjoin/algorithms/yannakakis.h"
@@ -51,7 +51,7 @@ int main() {
                     Fmt(ours.load),
                     bench::Ratio(static_cast<double>(yann.load),
                                  static_cast<double>(ours.load)),
-                    Fmt(bench::NewMatMulBound(cfg.n1(), cfg.n2(), cfg.out(),
+                    Fmt(plan::NewMatMulBound(cfg.n1(), cfg.n2(), cfg.out(),
                                               p))});
     }
     table.Print(std::cout);

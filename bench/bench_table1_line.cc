@@ -8,12 +8,15 @@
 
 #include <cstdint>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
-#include "bounds.h"
+#include "parjoin/plan/cost_model.h"
 #include "parjoin/algorithms/line_query.h"
 #include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/common/parallel_for.h"
 #include "parjoin/common/table_printer.h"
 #include "parjoin/workload/generators.h"
 
@@ -23,7 +26,9 @@ namespace {
 using S = CountingSemiring;
 
 void RunSweep(const std::string& title, int p,
-              const std::vector<LineBlockConfig>& configs) {
+              const std::vector<LineBlockConfig>& configs,
+              const std::string& sweep_tag,
+              std::vector<bench::BenchJsonEntry>* json_entries) {
   std::cout << title << " (p = " << p << ")\n";
   // Two baselines: the literal 1981 Yannakakis (projection only at the
   // end — this is where the Table 1 N*OUT/p-style blowup manifests) and
@@ -61,8 +66,22 @@ void RunSweep(const std::string& title, int p,
                       static_cast<double>(ours.load)),
          bench::Ratio(static_cast<double>(yann.load),
                       static_cast<double>(ours.load)),
-         Fmt(bench::NewLineStarBound(n_rel, out_measured, p)),
+         Fmt(plan::NewLineStarBound(n_rel, out_measured, p)),
          Fmt(ours.wall_ms)});
+    const std::pair<const char*, const bench::RunResult*> algos[] = {
+        {"yann1981", &yann1981}, {"yannakakis", &yann}, {"thm4", &ours}};
+    for (const auto& [algo, run] : algos) {
+      bench::BenchJsonEntry entry;
+      entry.experiment = "E2";
+      entry.name = sweep_tag + "/arity=" + std::to_string(cfg.arity) +
+                   "/ends=" + std::to_string(cfg.side_end) +
+                   "/OUT=" + std::to_string(out_measured) + "/" + algo;
+      entry.n = n_rel * cfg.arity;
+      entry.p = p;
+      entry.threads = ParallelForThreads();
+      entry.result = *run;
+      json_entries->push_back(std::move(entry));
+    }
   }
   table.Print(std::cout);
   std::cout << std::endl;
@@ -80,6 +99,7 @@ int main() {
       "Yannakakis baseline.");
 
   const int p = 64;
+  std::vector<bench::BenchJsonEntry> json_entries;
   std::vector<LineBlockConfig> out_sweep;
   for (std::int64_t side_end : {2, 4, 8, 16}) {
     LineBlockConfig cfg;
@@ -89,7 +109,8 @@ int main() {
     cfg.side_mid = 48;  // fat middle: J ~ blocks * side_mid^2
     out_sweep.push_back(cfg);
   }
-  RunSweep("Sweep OUT at fixed middle width (n = 3)", p, out_sweep);
+  RunSweep("Sweep OUT at fixed middle width (n = 3)", p, out_sweep,
+           "out-sweep", &json_entries);
 
   std::vector<LineBlockConfig> arity_sweep;
   for (int arity : {3, 4, 5}) {
@@ -100,7 +121,8 @@ int main() {
     cfg.side_mid = 28;
     arity_sweep.push_back(cfg);
   }
-  RunSweep("Sweep chain length n", p, arity_sweep);
+  RunSweep("Sweep chain length n", p, arity_sweep, "arity-sweep",
+           &json_entries);
 
   // Hub chains: a few A2 hub values with degree >= sqrt(OUT) on both
   // sides (the Lemma 4 heavy regime). Yannakakis materializes h*m^2
@@ -162,5 +184,14 @@ int main() {
   }
   hub_table.Print(std::cout);
   std::cout << std::endl;
+
+  const std::string json_path = bench::BenchJsonPath();
+  std::string error;
+  if (bench::UpdateBenchJson(json_path, "E2", json_entries, &error)) {
+    std::cout << "wrote " << json_entries.size() << " E2 entries to "
+              << json_path << "\n";
+  } else {
+    std::cerr << "BENCH json: " << error << "\n";
+  }
   return 0;
 }

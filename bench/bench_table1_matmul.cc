@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "bounds.h"
+#include "parjoin/plan/cost_model.h"
 #include "parjoin/algorithms/hypercube.h"
 #include "parjoin/algorithms/matmul.h"
 #include "parjoin/algorithms/yannakakis.h"
@@ -59,9 +59,9 @@ void RunSweep(const std::string& title, int p,
                   Fmt(yann.load), Fmt(hc.load), Fmt(ours.load),
                   bench::Ratio(static_cast<double>(yann.load),
                                static_cast<double>(ours.load)),
-                  Fmt(bench::YannakakisMatMulBound(cfg.n1() + cfg.n2(),
+                  Fmt(plan::YannakakisMatMulBound(cfg.n1() + cfg.n2(),
                                                    out_measured, p)),
-                  Fmt(bench::NewMatMulBound(cfg.n1(), cfg.n2(), out_measured,
+                  Fmt(plan::NewMatMulBound(cfg.n1(), cfg.n2(), out_measured,
                                             p)),
                   Fmt(static_cast<std::int64_t>(ours.rounds)),
                   Fmt(ours.wall_ms)});

@@ -7,12 +7,15 @@
 
 #include <cstdint>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
-#include "bounds.h"
+#include "parjoin/plan/cost_model.h"
 #include "parjoin/algorithms/star_query.h"
 #include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/common/parallel_for.h"
 #include "parjoin/common/table_printer.h"
 #include "parjoin/workload/generators.h"
 
@@ -23,10 +26,12 @@ using S = CountingSemiring;
 
 template <typename Gen>
 void RunSweep(const std::string& title, int p, int arity,
-              const std::vector<Gen>& gens) {
+              const std::vector<Gen>& gens, const std::string& sweep_tag,
+              std::vector<bench::BenchJsonEntry>* json_entries) {
   std::cout << title << " (p = " << p << ")\n";
   TablePrinter table({"n", "N_per_rel", "OUT", "L_yannakakis", "L_theorem5",
                       "speedup", "bound_yann", "bound_thm5", "ms_thm5"});
+  int config_index = 0;
   for (const auto& gen : gens) {
     std::int64_t n_rel = 0;
     std::int64_t out_measured = 0;
@@ -47,9 +52,24 @@ void RunSweep(const std::string& title, int p, int arity,
          Fmt(out_measured), Fmt(yann.load), Fmt(ours.load),
          bench::Ratio(static_cast<double>(yann.load),
                       static_cast<double>(ours.load)),
-         Fmt(bench::YannakakisStarBound(n_rel, out_measured, arity, p)),
-         Fmt(bench::NewLineStarBound(n_rel, out_measured, p)),
+         Fmt(plan::YannakakisStarBound(n_rel, out_measured, arity, p)),
+         Fmt(plan::NewLineStarBound(n_rel, out_measured, p)),
          Fmt(ours.wall_ms)});
+    const std::pair<const char*, const bench::RunResult*> algos[] = {
+        {"yannakakis", &yann}, {"thm5", &ours}};
+    for (const auto& [algo, run] : algos) {
+      bench::BenchJsonEntry entry;
+      entry.experiment = "E3";
+      entry.name = sweep_tag + "/arity=" + std::to_string(arity) + "/cfg=" +
+                   std::to_string(config_index) +
+                   "/OUT=" + std::to_string(out_measured) + "/" + algo;
+      entry.n = n_rel * arity;
+      entry.p = p;
+      entry.threads = ParallelForThreads();
+      entry.result = *run;
+      json_entries->push_back(std::move(entry));
+    }
+    ++config_index;
   }
   table.Print(std::cout);
   std::cout << std::endl;
@@ -67,6 +87,7 @@ int main() {
 
   const int p = 64;
   using Gen = std::function<TreeInstance<S>(mpc::Cluster&)>;
+  std::vector<bench::BenchJsonEntry> json_entries;
 
   std::vector<Gen> out_sweep;
   for (std::int64_t side_arm : {2, 4, 8, 14}) {
@@ -78,7 +99,8 @@ int main() {
     out_sweep.push_back(
         [cfg](mpc::Cluster& c) { return GenStarBlocks<S>(c, cfg); });
   }
-  RunSweep<Gen>("Sweep OUT at fixed B width (n = 3)", p, 3, out_sweep);
+  RunSweep<Gen>("Sweep OUT at fixed B width (n = 3)", p, 3, out_sweep,
+                "out-sweep", &json_entries);
 
   for (int arity : {3, 4}) {
     std::vector<Gen> arity_sweep;
@@ -90,7 +112,7 @@ int main() {
     arity_sweep.push_back(
         [cfg](mpc::Cluster& c) { return GenStarBlocks<S>(c, cfg); });
     RunSweep<Gen>("Arity n = " + std::to_string(arity), p, arity,
-                  arity_sweep);
+                  arity_sweep, "arity-sweep", &json_entries);
   }
 
   std::vector<Gen> skewed;
@@ -101,6 +123,16 @@ int main() {
       return GenStarRandom<S>(c, 3, 3000, 25, 150, skew, 11);
     });
   }
-  RunSweep<Gen>("Skewed random stars (Zipf on B)", p, 3, skewed);
+  RunSweep<Gen>("Skewed random stars (Zipf on B)", p, 3, skewed, "skewed",
+                &json_entries);
+
+  const std::string json_path = bench::BenchJsonPath();
+  std::string error;
+  if (bench::UpdateBenchJson(json_path, "E3", json_entries, &error)) {
+    std::cout << "wrote " << json_entries.size() << " E3 entries to "
+              << json_path << "\n";
+  } else {
+    std::cerr << "BENCH json: " << error << "\n";
+  }
   return 0;
 }

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "bounds.h"
+#include "parjoin/plan/cost_model.h"
 #include "parjoin/algorithms/tree_query.h"
 #include "parjoin/algorithms/yannakakis.h"
 #include "parjoin/common/table_printer.h"
@@ -49,8 +49,8 @@ void RunSweep(const std::string& title, int p,
         {Fmt(n_total), Fmt(out_measured), Fmt(yann.load), Fmt(ours.load),
          bench::Ratio(static_cast<double>(yann.load),
                       static_cast<double>(ours.load)),
-         Fmt(bench::YannakakisTreeBound(n_rel, out_measured, p)),
-         Fmt(bench::NewTreeBound(n_rel, out_measured, p)),
+         Fmt(plan::YannakakisTreeBound(n_rel, out_measured, p)),
+         Fmt(plan::NewTreeBound(n_rel, out_measured, p)),
          Fmt(ours.wall_ms)});
   }
   table.Print(std::cout);

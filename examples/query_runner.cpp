@@ -11,9 +11,11 @@
 //   result <csv-path>                  where to write the result
 //
 // Relations are CSVs of "v1,v2,annotation" rows (counting semiring).
-// The runner classifies the query shape, executes TreeQueryAggregate (the
-// universal §3–§7 entry point), prints the MPC cost ledger, and writes
-// the aggregated result.
+// The runner plans the query with the cost-based planner (classification,
+// OUT/J estimation, candidate scoring), executes the chosen algorithm via
+// plan::PlanAndRun, prints the plan with predicted vs. measured load, and
+// writes the aggregated result. Pass --json to additionally dump the plan
+// as machine-readable JSON.
 
 #include <fstream>
 #include <iostream>
@@ -21,8 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "parjoin/algorithms/tree_query.h"
-#include "parjoin/query/explain.h"
+#include "parjoin/plan/executor.h"
 #include "parjoin/relation/io.h"
 #include "parjoin/semiring/semirings.h"
 
@@ -85,11 +86,10 @@ bool ParseSpec(const std::string& path, Spec* spec, std::string* error) {
   return true;
 }
 
-int RunSpec(const Spec& spec) {
+int RunSpec(const Spec& spec, bool dump_json) {
   std::vector<parjoin::QueryEdge> edges;
   for (const auto& e : spec.edges) edges.push_back({e.u, e.v});
   parjoin::JoinTree query(edges, spec.outputs);
-  std::cout << parjoin::ExplainQuery(query) << "\n";
 
   parjoin::mpc::Cluster cluster(spec.p);
   parjoin::TreeInstance<S> instance{query, {}};
@@ -105,8 +105,10 @@ int RunSpec(const Spec& spec) {
     instance.relations.push_back(parjoin::Distribute(cluster, rel));
   }
 
-  auto result = parjoin::TreeQueryAggregate(cluster, std::move(instance));
-  parjoin::Relation<S> local = result.ToLocal();
+  auto exec = parjoin::plan::PlanAndRun(cluster, std::move(instance));
+  std::cout << "\n" << exec.plan.ToText() << "\n";
+  if (dump_json) std::cout << exec.plan.ToJson() << "\n\n";
+  parjoin::Relation<S> local = exec.result.ToLocal();
   local.Normalize();
 
   std::string error;
@@ -114,16 +116,19 @@ int RunSpec(const Spec& spec) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
-  std::cout << "\nResult: " << local.size() << " tuples -> "
+  std::cout << "Result: " << local.size() << " tuples -> "
             << spec.result_path << "\n"
-            << "Cost: load " << cluster.stats().max_load << ", "
-            << cluster.stats().rounds << " rounds, "
-            << cluster.stats().total_comm << " tuples moved (p = " << spec.p
-            << ")\n";
+            << parjoin::plan::PredictedVsMeasuredReport(exec.plan) << "\n"
+            << "Cost: planning load " << exec.plan.planning_stats.max_load
+            << " (" << exec.plan.planning_stats.rounds << " rounds), "
+            << "execution load " << exec.plan.execution_stats.max_load
+            << " (" << exec.plan.execution_stats.rounds << " rounds), "
+            << exec.plan.execution_stats.total_comm
+            << " tuples moved (p = " << spec.p << ")\n";
   return 0;
 }
 
-int WriteDemoAndRun() {
+int WriteDemoAndRun(bool dump_json) {
   const std::string dir = "/tmp/parjoin_demo";
   (void)system(("mkdir -p " + dir).c_str());
   // A 3-chain: suppliers -> parts -> regions.
@@ -157,22 +162,33 @@ int WriteDemoAndRun() {
     return 1;
   }
   std::cout << "Demo spec written to " << dir << "/query.spec\n\n";
-  return RunSpec(spec);
+  return RunSpec(spec, dump_json);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::string(argv[1]) == "--demo") return WriteDemoAndRun();
-  if (argc != 2) {
-    std::cerr << "usage: " << argv[0] << " <spec-file> | --demo\n";
+  bool dump_json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      dump_json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() == 1 && args[0] == "--demo") {
+    return WriteDemoAndRun(dump_json);
+  }
+  if (args.size() != 1) {
+    std::cerr << "usage: " << argv[0] << " [--json] <spec-file> | --demo\n";
     return 2;
   }
   Spec spec;
   std::string error;
-  if (!ParseSpec(argv[1], &spec, &error)) {
+  if (!ParseSpec(args[0], &spec, &error)) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
-  return RunSpec(spec);
+  return RunSpec(spec, dump_json);
 }

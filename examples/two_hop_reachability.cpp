@@ -1,21 +1,24 @@
 // Two-hop analytics on a social graph — matrix multiplication under two
-// semirings.
+// semirings, planned and executed by the cost-based planner.
 //
-// A random "follows" graph is queried twice with the same algorithm:
+// A random "follows" graph is queried twice with the same physical plan:
 //   * Boolean semiring  — which pairs (u, w) are connected by a 2-hop
 //     path? (join-project / conjunctive query semantics)
 //   * Counting semiring — how many distinct 2-hop paths connect them?
 //     (COUNT(*) GROUP BY semantics)
 // The point of the paper's semiring framework is that these are the same
-// query plan; only ⊕/⊗ change.
+// query plan; only ⊕/⊗ change. The planner classifies the query as matrix
+// multiplication, estimates OUT with the §2.2 sketches, and picks between
+// the worst-case and output-sensitive Theorem 1 branches — the example
+// prints the chosen algorithm and predicted vs. measured load.
 
-#include <algorithm>
-#include <set>
 #include <iostream>
+#include <set>
+#include <utility>
 
-#include "parjoin/algorithms/matmul.h"
 #include "parjoin/common/random.h"
 #include "parjoin/mpc/cluster.h"
+#include "parjoin/plan/executor.h"
 #include "parjoin/relation/relation.h"
 #include "parjoin/semiring/semirings.h"
 
@@ -37,41 +40,47 @@ parjoin::Relation<S> FollowsRelation(parjoin::Schema schema, int num_users,
   return rel;
 }
 
+// Attribute ids: source=0, middle=1, target=2. The same edge set is used
+// as both hops: R1(src, mid) and R2(mid, dst); output y = {src, target}.
+template <typename S>
+parjoin::plan::PlanExecution<S> RunTwoHop(parjoin::mpc::Cluster& cluster,
+                                          int num_users, int num_edges) {
+  parjoin::TreeInstance<S> instance{
+      parjoin::JoinTree({{0, 1}, {1, 2}}, {0, 2}), {}};
+  instance.relations.push_back(parjoin::Distribute(
+      cluster,
+      FollowsRelation<S>(parjoin::Schema{0, 1}, num_users, num_edges, 1)));
+  instance.relations.push_back(parjoin::Distribute(
+      cluster,
+      FollowsRelation<S>(parjoin::Schema{1, 2}, num_users, num_edges, 1)));
+  return parjoin::plan::PlanAndRun(cluster, std::move(instance));
+}
+
 }  // namespace
 
 int main() {
   constexpr int kUsers = 400;
   constexpr int kEdges = 3000;
 
-  // Attribute ids: source=0, middle=1, target=2. The same edge set is
-  // used as both hops: R1(src, mid) and R2(mid, dst).
   {
     using S = parjoin::BooleanSemiring;
     parjoin::mpc::Cluster cluster(16);
-    auto hop1 = parjoin::Distribute(
-        cluster, FollowsRelation<S>(parjoin::Schema{0, 1}, kUsers, kEdges, 1));
-    auto hop2 = parjoin::Distribute(
-        cluster, FollowsRelation<S>(parjoin::Schema{1, 2}, kUsers, kEdges, 1));
-    auto reach = parjoin::MatMul(cluster, hop1, hop2);
-    std::cout << "Boolean semiring: " << reach.TotalSize()
-              << " user pairs are 2-hop connected"
-              << " (load " << cluster.stats().max_load << ", "
-              << cluster.stats().rounds << " rounds)\n";
+    auto exec = RunTwoHop<S>(cluster, kUsers, kEdges);
+    std::cout << "Boolean semiring: " << exec.result.TotalSize()
+              << " user pairs are 2-hop connected ("
+              << parjoin::plan::PredictedVsMeasuredReport(exec.plan)
+              << ", " << exec.plan.execution_stats.rounds << " rounds)\n";
   }
 
   {
     using S = parjoin::CountingSemiring;
     parjoin::mpc::Cluster cluster(16);
-    auto hop1 = parjoin::Distribute(
-        cluster, FollowsRelation<S>(parjoin::Schema{0, 1}, kUsers, kEdges, 1));
-    auto hop2 = parjoin::Distribute(
-        cluster, FollowsRelation<S>(parjoin::Schema{1, 2}, kUsers, kEdges, 1));
-    auto counts = parjoin::MatMul(cluster, hop1, hop2);
+    auto exec = RunTwoHop<S>(cluster, kUsers, kEdges);
 
     // The pair connected by the most distinct 2-hop paths.
     parjoin::Value best_u = -1, best_w = -1;
     std::int64_t best = 0;
-    counts.data.ForEach([&](const parjoin::Tuple<S>& t) {
+    exec.result.data.ForEach([&](const parjoin::Tuple<S>& t) {
       if (t.w > best) {
         best = t.w;
         best_u = t.row[0];
@@ -80,6 +89,7 @@ int main() {
     });
     std::cout << "Counting semiring: strongest pair is (" << best_u << ", "
               << best_w << ") with " << best << " distinct 2-hop paths\n";
+    std::cout << "\n" << exec.plan.ToText();
   }
   return 0;
 }

@@ -1,7 +1,11 @@
 #include "parjoin/common/parallel_for.h"
 
-#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace parjoin {
 
@@ -18,6 +22,83 @@ int DefaultThreads() {
   return std::max(1, static_cast<int>(hw));
 }
 
+thread_local bool t_on_pool_worker = false;
+
+// The persistent pool. Workers block on cv_work_ between regions; a region
+// is published as (body_, ctx_, participants_) under a generation bump.
+// Worker w participates when w <= participants_; Run() cannot return until
+// every participant decremented remaining_, so a worker can never observe
+// a region after its context died, and a region can never be skipped by a
+// participant (non-participants may skip generations freely).
+class WorkerPool {
+ public:
+  void Run(int workers, void (*body)(void*, int), void* ctx) {
+    // One region at a time: concurrent top-level ParallelFor calls (legal
+    // before the pool existed) serialize instead of corrupting the
+    // shared remaining_/participants_ handoff.
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    EnsureWorkersLocked(workers - 1);
+    body_ = body;
+    ctx_ = ctx;
+    participants_ = workers - 1;
+    remaining_ = workers - 1;
+    ++generation_;
+    cv_work_.notify_all();
+    lock.unlock();
+
+    body(ctx, 0);
+
+    lock.lock();
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+    ctx_ = nullptr;
+  }
+
+ private:
+  void EnsureWorkersLocked(int count) {
+    while (static_cast<int>(threads_.size()) < count) {
+      const int id = static_cast<int>(threads_.size()) + 1;
+      threads_.emplace_back([this, id] { WorkerLoop(id); });
+    }
+  }
+
+  void WorkerLoop(int id) {
+    t_on_pool_worker = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      cv_work_.wait(lock, [&] { return generation_ != seen; });
+      seen = generation_;
+      if (id > participants_) continue;
+      void (*body)(void*, int) = body_;
+      void* ctx = ctx_;
+      lock.unlock();
+      body(ctx, id);
+      lock.lock();
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+
+  std::mutex run_mu_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> threads_;  // pool worker w runs threads_[w-1]
+  std::uint64_t generation_ = 0;
+  int participants_ = 0;
+  int remaining_ = 0;
+  void (*body_)(void*, int) = nullptr;
+  void* ctx_ = nullptr;
+};
+
+WorkerPool& Pool() {
+  // Leaked: pool threads block forever between regions and are never
+  // joined; tearing them down at static destruction would race user code.
+  static WorkerPool* pool = new WorkerPool();
+  return *pool;
+}
+
 }  // namespace
 
 int ParallelForThreads() {
@@ -31,5 +112,15 @@ int ParallelForThreads() {
 void SetParallelForThreads(int threads) {
   g_thread_override.store(std::max(0, threads), std::memory_order_relaxed);
 }
+
+namespace internal_parallel {
+
+bool OnPoolWorker() { return t_on_pool_worker; }
+
+void RunOnPool(int workers, void (*body)(void*, int), void* ctx) {
+  Pool().Run(workers, body, ctx);
+}
+
+}  // namespace internal_parallel
 
 }  // namespace parjoin

@@ -10,13 +10,21 @@
 // overridden with PARJOIN_THREADS (0 or 1 disables threading; useful for
 // debugging) or at runtime with SetParallelForThreads (tests and benches
 // that compare threaded vs. sequential execution in one process).
+//
+// Workers live on a persistent process-wide pool: the first ParallelFor
+// spawns them, later calls reuse them (a condition-variable handoff
+// instead of a thread spawn+join per call — the simulator issues tens of
+// thousands of small regions per query). The calling thread always
+// executes worker 0's chunk; pool threads execute workers 1..W-1 with the
+// same strided assignment as before, so outputs stay bit-identical at any
+// PARJOIN_THREADS setting. A ParallelFor issued from inside a pool worker
+// (nested parallelism) runs sequentially on that worker.
 
 #ifndef PARJOIN_COMMON_PARALLEL_FOR_H_
 #define PARJOIN_COMMON_PARALLEL_FOR_H_
 
+#include <algorithm>
 #include <cstdlib>
-#include <thread>
-#include <vector>
 
 namespace parjoin {
 
@@ -28,26 +36,43 @@ int ParallelForThreads();
 // concurrency). Not safe to call while a ParallelFor is running.
 void SetParallelForThreads(int threads);
 
+namespace internal_parallel {
+
+// True on a pool worker thread; nested ParallelFor calls detect this and
+// run sequentially instead of deadlocking on the shared pool.
+bool OnPoolWorker();
+
+// Runs body(ctx, w) for w in [0, workers): w = 0 on the calling thread,
+// w >= 1 on the persistent pool. Returns after every worker finished.
+// Requires workers >= 2 (callers handle the sequential cases).
+void RunOnPool(int workers, void (*body)(void*, int), void* ctx);
+
+}  // namespace internal_parallel
+
 // Runs fn(i) for every i in [0, n). fn must not touch state shared
 // across iterations (other than read-only data).
 template <typename Fn>
 void ParallelFor(int n, Fn fn) {
   const int threads = ParallelForThreads();
-  if (n <= 1 || threads <= 1) {
+  if (n <= 1 || threads <= 1 || internal_parallel::OnPoolWorker()) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
   const int workers = std::min(threads, n);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      // Static strided chunking: deterministic assignment, good balance
-      // for the skewed part sizes the algorithms produce.
-      for (int i = w; i < n; i += workers) fn(i);
-    });
-  }
-  for (auto& t : pool) t.join();
+  struct Ctx {
+    Fn* fn;
+    int n;
+    int workers;
+  } ctx{&fn, n, workers};
+  internal_parallel::RunOnPool(
+      workers,
+      [](void* raw, int w) {
+        Ctx* c = static_cast<Ctx*>(raw);
+        // Static strided chunking: deterministic assignment, good balance
+        // for the skewed part sizes the algorithms produce.
+        for (int i = w; i < c->n; i += c->workers) (*c->fn)(i);
+      },
+      &ctx);
 }
 
 }  // namespace parjoin

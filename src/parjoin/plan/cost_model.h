@@ -1,0 +1,78 @@
+// The single shared source of the paper's load formulas.
+//
+// Two layers:
+//  * Closed-form evaluations of the Table 1 bounds (moved here from the
+//    bench-only bench/bounds.{h,cc}), reported by every bench next to
+//    measured loads. All bounds are asymptotic; these helpers evaluate the
+//    dominant expression with constant 1, so ratios (measured / bound) are
+//    meaningful across a sweep even though absolute constants are
+//    implementation-specific.
+//  * The planner's candidate scoring: PredictLoad evaluates the bound that
+//    applies to one (algorithm, shape, stats) combination, and
+//    ScoreCandidates enumerates every algorithm applicable to a shape in
+//    ascending predicted-load order. The Yannakakis baseline is scored
+//    with the ESTIMATED largest intermediate J (not the worst-case OUT
+//    expression) when the planner measured one — that is what places the
+//    Table 1 crossovers correctly on concrete instances.
+
+#ifndef PARJOIN_PLAN_COST_MODEL_H_
+#define PARJOIN_PLAN_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "parjoin/plan/plan.h"
+
+namespace parjoin {
+namespace plan {
+
+// --- Table 1 closed forms (constant 1) --------------------------------------
+
+// Distributed Yannakakis, matrix multiplication: O(N/p + N*sqrt(OUT)/p).
+double YannakakisMatMulBound(std::int64_t n, std::int64_t out, int p);
+
+// Theorem 1: O((N1+N2)/p + min{sqrt(N1 N2 / p),
+//                               (N1 N2)^{1/3} OUT^{1/3} / p^{2/3}}).
+double NewMatMulBound(std::int64_t n1, std::int64_t n2, std::int64_t out,
+                      int p);
+
+// Distributed Yannakakis, star query (n relations):
+// O(N/p + N * OUT^{1-1/n} / p).
+double YannakakisStarBound(std::int64_t n, std::int64_t out, int arity, int p);
+
+// Distributed Yannakakis, line/tree queries: O(N/p + N*OUT/p).
+double YannakakisTreeBound(std::int64_t n, std::int64_t out, int p);
+
+// Theorem 4 / Theorem 5 (line and star queries):
+// O((N*OUT/p)^{2/3} + N*OUT^{1/2}/p + (N+OUT)/p).
+double NewLineStarBound(std::int64_t n, std::int64_t out, int p);
+
+// Theorem 6 (tree queries): O(N*OUT^{2/3}/p + (N+OUT)/p).
+double NewTreeBound(std::int64_t n, std::int64_t out, int p);
+
+// Theorem 3 lower bound:
+// Omega(min{sqrt(N1 N2 / p), (N1 N2)^{1/3} OUT^{1/3} / p^{2/3}}).
+double MatMulLowerBound(std::int64_t n1, std::int64_t n2, std::int64_t out,
+                        int p);
+
+// --- Planner scoring ---------------------------------------------------------
+
+// True iff `a` can execute an instance of this shape.
+bool Applicable(Algorithm a, QueryShape shape);
+
+// Predicted load of running `a` on an instance with `stats` (constant 1).
+// CHECK-fails when !Applicable(a, shape).
+double PredictLoad(Algorithm a, QueryShape shape, const InstanceStats& stats);
+
+// The human-readable expression PredictLoad evaluates.
+const char* LoadFormula(Algorithm a, QueryShape shape);
+
+// Every applicable candidate, ascending by predicted load (ties broken by
+// enum order, so the dispatch is deterministic).
+std::vector<Candidate> ScoreCandidates(QueryShape shape,
+                                       const InstanceStats& stats);
+
+}  // namespace plan
+}  // namespace parjoin
+
+#endif  // PARJOIN_PLAN_COST_MODEL_H_

@@ -1,0 +1,26 @@
+#include "parjoin/plan/executor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace parjoin {
+namespace plan {
+
+std::string PredictedVsMeasuredReport(const PhysicalPlan& plan) {
+  std::ostringstream os;
+  os << "chosen " << AlgorithmName(plan.chosen) << ": predicted load "
+     << static_cast<std::int64_t>(std::llround(plan.predicted_load));
+  if (plan.measured_load >= 0) {
+    os << ", measured load " << plan.measured_load;
+    if (plan.predicted_load > 0) {
+      const double ratio =
+          static_cast<double>(plan.measured_load) / plan.predicted_load;
+      os.precision(3);
+      os << " (measured/predicted " << ratio << ")";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace plan
+}  // namespace parjoin

@@ -1,0 +1,170 @@
+#include "parjoin/plan/planner.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace parjoin {
+namespace plan {
+namespace {
+
+// Minimal JSON string escaping: the strings we emit (formulas, debug
+// strings) only need quote/backslash/control handling.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void AppendStats(const char* key, const mpc::Cluster::Stats& s,
+                 std::ostringstream& os) {
+  os << '"' << key << "\":{\"rounds\":" << s.rounds
+     << ",\"max_load\":" << s.max_load << ",\"total_comm\":" << s.total_comm
+     << '}';
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSingleRelation:
+      return "single_relation";
+    case Algorithm::kYannakakis:
+      return "yannakakis";
+    case Algorithm::kHyperCube:
+      return "hypercube";
+    case Algorithm::kMatMulWorstCase:
+      return "matmul_worst_case";
+    case Algorithm::kMatMulOutputSensitive:
+      return "matmul_output_sensitive";
+    case Algorithm::kLineTheorem4:
+      return "line_theorem4";
+    case Algorithm::kStarTheorem5:
+      return "star_theorem5";
+    case Algorithm::kStarLikeLemma7:
+      return "starlike_lemma7";
+    case Algorithm::kTreeTheorem6:
+      return "tree_theorem6";
+  }
+  return "?";
+}
+
+const Candidate* PhysicalPlan::CandidateFor(Algorithm a) const {
+  for (const Candidate& c : candidates) {
+    if (c.algorithm == a) return &c;
+  }
+  return nullptr;
+}
+
+Candidate* PhysicalPlan::MutableCandidateFor(Algorithm a) {
+  for (Candidate& c : candidates) {
+    if (c.algorithm == a) return &c;
+  }
+  return nullptr;
+}
+
+std::string PhysicalPlan::ToText() const {
+  std::ostringstream os;
+  os << "=== physical plan ===\n"
+     << "shape: " << QueryShapeName(shape) << "\n"
+     << "p = " << stats.p << ", N = " << stats.total_input << " (";
+  for (size_t i = 0; i < stats.relation_sizes.size(); ++i) {
+    if (i > 0) os << " + ";
+    os << stats.relation_sizes[i];
+  }
+  os << ")\n"
+     << "OUT " << (stats.out_is_estimated ? "~ " : "= ")
+     << stats.out_estimate << ", largest intermediate J ~ "
+     << stats.join_estimate << "\n"
+     << "candidates (ascending predicted load):\n";
+  for (const Candidate& c : candidates) {
+    os << "  " << (c.algorithm == chosen ? "* " : "  ")
+       << AlgorithmName(c.algorithm) << ": predicted "
+       << static_cast<std::int64_t>(std::llround(c.predicted_load));
+    if (c.measured_load >= 0) os << ", measured " << c.measured_load;
+    os << "  [" << c.formula << "]\n";
+  }
+  os << "chosen: " << AlgorithmName(chosen) << " (predicted load "
+     << static_cast<std::int64_t>(std::llround(predicted_load)) << ")\n";
+  if (measured_load >= 0) {
+    os << "measured: load " << measured_load << " in "
+       << execution_stats.rounds << " round(s)";
+    if (out_actual >= 0) os << ", OUT = " << out_actual;
+    if (predicted_load > 0) {
+      os << "  (measured/predicted = "
+         << JsonDouble(static_cast<double>(measured_load) / predicted_load)
+         << ")";
+    }
+    os << "\n";
+  }
+  if (!structure.empty()) os << "--- structure ---\n" << structure;
+  return os.str();
+}
+
+std::string PhysicalPlan::ToJson() const {
+  std::ostringstream os;
+  os << "{\"shape\":\"" << QueryShapeName(shape) << "\",\"query\":\""
+     << JsonEscape(query_debug) << "\",\"p\":" << stats.p
+     << ",\"relation_sizes\":[";
+  for (size_t i = 0; i < stats.relation_sizes.size(); ++i) {
+    if (i > 0) os << ',';
+    os << stats.relation_sizes[i];
+  }
+  os << "],\"total_input\":" << stats.total_input << ",\"n1\":" << stats.n1
+     << ",\"n2\":" << stats.n2 << ",\"star_arity\":" << stats.star_arity
+     << ",\"out_estimate\":" << stats.out_estimate
+     << ",\"join_estimate\":" << stats.join_estimate
+     << ",\"out_is_estimated\":"
+     << (stats.out_is_estimated ? "true" : "false") << ",\"candidates\":[";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    if (i > 0) os << ',';
+    os << "{\"algorithm\":\"" << AlgorithmName(c.algorithm)
+       << "\",\"predicted_load\":" << JsonDouble(c.predicted_load)
+       << ",\"formula\":\"" << JsonEscape(c.formula)
+       << "\",\"measured_load\":" << c.measured_load << '}';
+  }
+  os << "],\"chosen\":\"" << AlgorithmName(chosen)
+     << "\",\"predicted_load\":" << JsonDouble(predicted_load)
+     << ",\"measured_load\":" << measured_load
+     << ",\"out_actual\":" << out_actual << ',';
+  AppendStats("planning", planning_stats, os);
+  os << ',';
+  AppendStats("execution", execution_stats, os);
+  os << '}';
+  return os.str();
+}
+
+}  // namespace plan
+}  // namespace parjoin

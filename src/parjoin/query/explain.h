@@ -3,6 +3,10 @@
 // preprocessing and twig decomposition, per-twig algorithm dispatch, the
 // star-like arm structure, and the Table 1 bound that applies. Pure
 // analysis: nothing is computed and no load is charged.
+//
+// The cost-based planner (parjoin/plan/planner.h) embeds this report in
+// PhysicalPlan::structure and extends it with instance-specific numbers:
+// estimated OUT, scored candidates, and predicted vs. measured load.
 
 #ifndef PARJOIN_QUERY_EXPLAIN_H_
 #define PARJOIN_QUERY_EXPLAIN_H_

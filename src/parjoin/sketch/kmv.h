@@ -32,6 +32,14 @@ class KmvT {
   int size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // The i-th smallest retained hash (0 <= i < size()). Exposed so two
+  // sketches over the same hash function can be compared or fingerprinted
+  // (the planner's star estimator hashes sketch contents into signatures).
+  std::uint64_t hash(int i) const {
+    CHECK_LT(i, size_);
+    return vals_[i];
+  }
+
   // Inserts a hash value (deduplicated; keeps the kK smallest).
   void AddHash(std::uint64_t h) {
     if (size_ == kK && h >= vals_[kK - 1]) return;

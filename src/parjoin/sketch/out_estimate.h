@@ -39,6 +39,16 @@ struct OutEstimate {
   std::unordered_map<Value, std::int64_t> per_source;
   std::int64_t total = 0;
 
+  // Estimated size of the largest intermediate a right-to-left Yannakakis
+  // pass materializes over this chain: joining R_i with the already
+  // aggregated suffix π_{A_{i+1}, A_{n+1}} produces, per R_i tuple, the
+  // distinct-target count of its A_{i+1} value — exactly the per-value
+  // sketch estimates flowing through the passes below, so the planner
+  // gets J for free from the same round. Always >= total (for a
+  // single-relation chain it equals total: the output is the only
+  // intermediate).
+  std::int64_t max_intermediate = 0;
+
   std::int64_t ForValue(Value a) const {
     auto it = per_source.find(a);
     return it == per_source.end() ? 0 : it->second;
@@ -80,6 +90,10 @@ OutEstimate EstimateChainOut(mpc::Cluster& cluster,
   using internal_sketch::KeyedKmv;
   const int p = cluster.p();
   std::unordered_map<Value, std::vector<double>> estimates;
+  // level_join[i][rep]: estimated size of R_i joined with the aggregated
+  // suffix (the Yannakakis intermediate at level i).
+  std::vector<std::vector<double>> level_join(
+      chain.size() >= 1 ? chain.size() - 1 : 0);
 
   // The paper runs the O(log N) repetitions in parallel; rounds count as
   // one repetition's chain.
@@ -138,6 +152,7 @@ OutEstimate EstimateChainOut(mpc::Cluster& cluster,
 
       // Local: emit (path[i] value, sketch of joined path[i+1] value).
       mpc::Dist<KeyedKmv> emitted(p);
+      double join_size = 0;
       for (int s = 0; s < p; ++s) {
         std::unordered_map<Value, const Kmv*> lookup;
         lookup.reserve(sk_parted.part(s).size());
@@ -145,12 +160,14 @@ OutEstimate EstimateChainOut(mpc::Cluster& cluster,
         for (const auto& t : rel_parted.part(s)) {
           auto it = lookup.find(t.row[next_pos]);
           if (it == lookup.end()) continue;  // dangling tuple
+          join_size += it->second->Estimate();
           KeyedKmv kk;
           kk.key = t.row[key_pos];
           kk.kmv = *it->second;
           emitted.part(s).push_back(std::move(kk));
         }
       }
+      level_join[static_cast<size_t>(i)].push_back(join_size);
       sketches = mpc::ReduceByKey(
           cluster, emitted, [](const KeyedKmv& kk) { return kk.key; },
           [](KeyedKmv* acc, const KeyedKmv& kk) { acc->kmv.Merge(kk.kmv); });
@@ -175,6 +192,16 @@ OutEstimate EstimateChainOut(mpc::Cluster& cluster,
     out.per_source[value] = est;
     out.total += est;
   }
+  for (auto& reps : level_join) {
+    if (reps.empty()) continue;
+    std::nth_element(reps.begin(), reps.begin() + reps.size() / 2,
+                     reps.end());
+    out.max_intermediate =
+        std::max(out.max_intermediate,
+                 static_cast<std::int64_t>(
+                     std::llround(reps[reps.size() / 2])));
+  }
+  out.max_intermediate = std::max(out.max_intermediate, out.total);
   return out;
 }
 

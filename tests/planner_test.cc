@@ -1,0 +1,449 @@
+// Tests for the cost-based planner (src/parjoin/plan): correctness of the
+// dispatched execution against the reference evaluator, crossover
+// placement on Table 1 rows (the planner must pick the algorithm with the
+// lower MEASURED load on instances engineered to sit on either side of a
+// crossover), prediction accuracy within a constant factor, and validity
+// of the machine-readable plan dump.
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/plan/executor.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace plan {
+namespace {
+
+using S = CountingSemiring;
+
+// --- tiny JSON validator -----------------------------------------------------
+// Enough JSON to validate ToJson(): objects, arrays, strings with escapes,
+// numbers, true/false/null. Returns false on any syntax error.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t len = std::string(lit).size();
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- helpers -----------------------------------------------------------------
+
+std::int64_t MinMeasured(const PhysicalPlan& plan) {
+  std::int64_t best = -1;
+  for (const Candidate& c : plan.candidates) {
+    EXPECT_GE(c.measured_load, 0) << AlgorithmName(c.algorithm);
+    if (best < 0 || c.measured_load < best) best = c.measured_load;
+  }
+  return best;
+}
+
+// Plans the instance, measures every candidate, and asserts the planner's
+// choice is (near-)optimal: its measured load within `slack` of the best
+// candidate's. slack > 1 tolerates constant-factor noise near crossovers;
+// the sweep points themselves are chosen well inside each regime.
+PhysicalPlan ExpectPicksLowerMeasured(mpc::Cluster& cluster,
+                                      const TreeInstance<S>& instance,
+                                      double slack = 1.3) {
+  PhysicalPlan plan = PlanQuery(cluster, instance);
+  MeasureCandidates(cluster, instance, &plan);
+  const std::int64_t best = MinMeasured(plan);
+  const Candidate* chosen = plan.CandidateFor(plan.chosen);
+  EXPECT_NE(chosen, nullptr);
+  if (chosen != nullptr) {
+    EXPECT_LE(static_cast<double>(chosen->measured_load),
+              slack * static_cast<double>(best))
+        << plan.ToText();
+  }
+  return plan;
+}
+
+void ExpectPredictionWithinFactor(const PhysicalPlan& plan, double factor) {
+  const Candidate* chosen = plan.CandidateFor(plan.chosen);
+  ASSERT_NE(chosen, nullptr);
+  ASSERT_GT(chosen->predicted_load, 0);
+  ASSERT_GT(chosen->measured_load, 0);
+  const double ratio =
+      static_cast<double>(chosen->measured_load) / chosen->predicted_load;
+  EXPECT_GE(ratio, 1.0 / factor) << plan.ToText();
+  EXPECT_LE(ratio, factor) << plan.ToText();
+}
+
+// --- correctness through the executor ---------------------------------------
+
+TEST(PlanExecutorTest, MatMulMatchesReference) {
+  mpc::Cluster cluster(8);
+  auto instance = GenMatMulBlocks<S>(
+      cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+  Relation<S> expected = EvaluateReference(instance);
+  auto exec = PlanAndRun(cluster, instance);
+  Relation<S> got = exec.result.ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected)
+      << "got " << got.size() << " expected " << expected.size();
+  EXPECT_EQ(exec.plan.out_actual, expected.size());
+  EXPECT_EQ(exec.plan.measured_load, exec.plan.execution_stats.max_load);
+}
+
+TEST(PlanExecutorTest, LineMatchesReferenceUnderEveryCandidate) {
+  mpc::Cluster cluster(8);
+  LineBlockConfig cfg;
+  cfg.arity = 3;
+  cfg.blocks = 4;
+  cfg.side_end = 4;
+  cfg.side_mid = 12;
+  auto instance = GenLineBlocks<S>(cluster, cfg);
+  Relation<S> expected = EvaluateReference(instance);
+  PhysicalPlan plan = PlanQuery(cluster, instance);
+  for (const Candidate& c : plan.candidates) {
+    TreeInstance<S> copy = instance;
+    Relation<S> got =
+        DispatchAlgorithm(cluster, c.algorithm, std::move(copy)).ToLocal();
+    got.Normalize();
+    // Align schema order (the line algorithm may reverse the path).
+    if (!(got.schema() == expected.schema())) {
+      Relation<S> aligned(expected.schema());
+      const auto positions =
+          got.schema().PositionsOf(expected.schema().attrs());
+      for (const auto& t : got.tuples()) {
+        aligned.Add(t.row.Select(positions), t.w);
+      }
+      aligned.Normalize();
+      got = aligned;
+    }
+    EXPECT_TRUE(got == expected) << AlgorithmName(c.algorithm);
+  }
+}
+
+// --- estimation --------------------------------------------------------------
+
+TEST(PlannerEstimateTest, MatMulOutAndJoinEstimates) {
+  mpc::Cluster cluster(16);
+  MatMulBlockConfig cfg;
+  cfg.blocks = 8;
+  cfg.side_a = 4;
+  cfg.side_b = 16;
+  cfg.side_c = 4;
+  auto instance = GenMatMulBlocks<S>(cluster, cfg);
+  PhysicalPlan plan = PlanQuery(cluster, instance);
+  EXPECT_EQ(plan.shape, QueryShape::kMatMul);
+  EXPECT_TRUE(plan.stats.out_is_estimated);
+  // KMV-exact regime (per-source distinct counts below the sketch width):
+  // the estimate should be very close to the true OUT.
+  const double out_true = static_cast<double>(cfg.out());
+  EXPECT_GE(plan.stats.out_estimate, out_true / 2);
+  EXPECT_LE(plan.stats.out_estimate, out_true * 2);
+  EXPECT_GE(plan.stats.join_estimate, plan.stats.out_estimate);
+  EXPECT_EQ(plan.stats.n1, cfg.n1());
+  EXPECT_EQ(plan.stats.n2, cfg.n2());
+}
+
+TEST(PlannerEstimateTest, StarOutDedupeSeesCollapsedOutput) {
+  mpc::Cluster cluster(16);
+  // side_b B-values per block share identical arm combinations: the full
+  // join J is side_b times larger than OUT. The signature estimator must
+  // report OUT ~ blocks*side_arm^2, J ~ side_b times that.
+  StarBlockConfig cfg;
+  cfg.arity = 3;  // arity 2 would classify as matmul and skip this estimator
+  cfg.blocks = 6;
+  cfg.side_arm = 5;
+  cfg.side_b = 12;
+  auto instance = GenStarBlocks<S>(cluster, cfg);
+  PhysicalPlan plan = PlanQuery(cluster, instance);
+  EXPECT_EQ(plan.shape, QueryShape::kStar);
+  const double out_true = static_cast<double>(cfg.out());
+  EXPECT_GE(plan.stats.out_estimate, out_true / 3);
+  EXPECT_LE(plan.stats.out_estimate, out_true * 3);
+  EXPECT_GE(plan.stats.join_estimate, plan.stats.out_estimate * 4);
+}
+
+// --- crossover sweeps --------------------------------------------------------
+// Table 1's matmul row: the Theorem 1 branches cross at
+// OUT* ~ sqrt(N1*N2*p). Instances well below the crossover must pick the
+// output-sensitive branch; instances well above it the worst-case branch,
+// and in both cases the pick must have the lower measured load.
+
+TEST(PlannerCrossoverTest, MatMulLowOutPicksOutputSensitive) {
+  mpc::Cluster cluster(16);
+  // N1 = N2 = 8*4*32 = 1024, OUT = 8*4*4 = 128 << OUT* ~ 4096.
+  MatMulBlockConfig cfg;
+  cfg.blocks = 8;
+  cfg.side_a = 4;
+  cfg.side_b = 32;
+  cfg.side_c = 4;
+  auto instance = GenMatMulBlocks<S>(cluster, cfg);
+  PhysicalPlan plan = ExpectPicksLowerMeasured(cluster, instance);
+  EXPECT_EQ(plan.chosen, Algorithm::kMatMulOutputSensitive) << plan.ToText();
+  ExpectPredictionWithinFactor(plan, 6.0);
+}
+
+TEST(PlannerCrossoverTest, MatMulHighOutPicksWorstCase) {
+  mpc::Cluster cluster(16);
+  // Dense blocks: N1 = N2 = 2*24*24 = 1152, OUT = 2*24*24 = 1152 with
+  // side_b = 24 -> OUT near N1*N2/side_b^2 territory; push OUT above
+  // OUT* ~ sqrt(N1*N2*p) by making blocks wide and B narrow.
+  MatMulBlockConfig cfg;
+  cfg.blocks = 2;
+  cfg.side_a = 48;
+  cfg.side_b = 2;
+  cfg.side_c = 48;
+  auto instance = GenMatMulBlocks<S>(cluster, cfg);
+  PhysicalPlan plan = ExpectPicksLowerMeasured(cluster, instance);
+  EXPECT_EQ(plan.chosen, Algorithm::kMatMulWorstCase) << plan.ToText();
+  ExpectPredictionWithinFactor(plan, 6.0);
+}
+
+// Table 1's line row. On GenLineBlocks the instance-faithful Yannakakis
+// cost (N + J + OUT)/p never exceeds Theorem 4's N*sqrt(OUT)/p term —
+// J = end*mid^2*blocks while N*sqrt(OUT) >= mid^2*end*blocks^{3/2} — so
+// the predicted crossover cannot flip on this family and the planner must
+// keep the baseline on BOTH sweep points. What the fat-middle point
+// checks is the planner's actual contract: the pick's measured load stays
+// within slack of the best candidate even when Theorem 4's worst-case
+// closed form (6786 predicted vs 1280 measured on this config) would
+// mis-rank under naive bound comparison.
+
+TEST(PlannerCrossoverTest, LineFatMiddlePickStaysNearMeasuredBest) {
+  mpc::Cluster cluster(16);
+  LineBlockConfig cfg;
+  cfg.arity = 3;
+  cfg.blocks = 8;
+  cfg.side_end = 2;   // OUT = 8*4 = 32
+  cfg.side_mid = 40;  // J ~ 8*2*1600, >> N*sqrt(OUT)? no: see comment
+  auto instance = GenLineBlocks<S>(cluster, cfg);
+  PhysicalPlan plan = ExpectPicksLowerMeasured(cluster, instance, 1.3);
+  EXPECT_EQ(plan.shape, QueryShape::kLine);
+  // Both Table 1 line-row algorithms must have been scored and measured.
+  EXPECT_NE(plan.CandidateFor(Algorithm::kLineTheorem4), nullptr);
+  EXPECT_NE(plan.CandidateFor(Algorithm::kYannakakis), nullptr);
+  ExpectPredictionWithinFactor(plan, 8.0);
+}
+
+TEST(PlannerCrossoverTest, LineThinMiddlePicksYannakakis) {
+  mpc::Cluster cluster(16);
+  LineBlockConfig cfg;
+  cfg.arity = 3;
+  cfg.blocks = 32;
+  cfg.side_end = 6;  // OUT = 32*36 = 1152, large relative to N
+  cfg.side_mid = 2;  // J stays ~ N: nothing for Theorem 4 to save
+  auto instance = GenLineBlocks<S>(cluster, cfg);
+  PhysicalPlan plan = ExpectPicksLowerMeasured(cluster, instance);
+  EXPECT_EQ(plan.chosen, Algorithm::kYannakakis) << plan.ToText();
+  ExpectPredictionWithinFactor(plan, 8.0);
+}
+
+TEST(PlannerCrossoverTest, StarFatCenterPicksTheorem5) {
+  mpc::Cluster cluster(16);
+  // The predicted crossover J > N*sqrt(OUT) needs
+  // arm^{arity/2-1} > arity*sqrt(blocks): one block, four long arms.
+  // N = 4*10*60 = 2400, OUT = 10^4, J = 60*10^4 = 6*10^5 — Yannakakis
+  // must ship the 600k-tuple intermediate while Theorem 5 never
+  // materializes it.
+  StarBlockConfig cfg;
+  cfg.arity = 4;
+  cfg.blocks = 1;
+  cfg.side_arm = 10;
+  cfg.side_b = 60;
+  auto instance = GenStarBlocks<S>(cluster, cfg);
+  PhysicalPlan plan = ExpectPicksLowerMeasured(cluster, instance);
+  EXPECT_EQ(plan.chosen, Algorithm::kStarTheorem5) << plan.ToText();
+  // Theorem 5's closed form is a worst-case bound and overshoots measured
+  // load heavily on benign instances; the factor here only pins the order
+  // of magnitude. Calibrating per-algorithm constants from bench history
+  // is a ROADMAP item.
+  ExpectPredictionWithinFactor(plan, 32.0);
+}
+
+TEST(PlannerCrossoverTest, StarThinCenterPicksYannakakis) {
+  mpc::Cluster cluster(16);
+  StarBlockConfig cfg;
+  cfg.arity = 3;
+  cfg.blocks = 24;
+  cfg.side_arm = 4;  // OUT = 24*64 = 1536
+  cfg.side_b = 1;    // J == OUT: the baseline is already output-optimal
+  auto instance = GenStarBlocks<S>(cluster, cfg);
+  PhysicalPlan plan = ExpectPicksLowerMeasured(cluster, instance);
+  EXPECT_EQ(plan.chosen, Algorithm::kYannakakis) << plan.ToText();
+  ExpectPredictionWithinFactor(plan, 8.0);
+}
+
+// --- plan rendering ----------------------------------------------------------
+
+TEST(PlanRenderTest, JsonIsValidAndCarriesPredictedAndMeasured) {
+  mpc::Cluster cluster(8);
+  auto instance = GenMatMulBlocks<S>(
+      cluster, MatMulBlockConfig::FromTargets(1500, 256, 4));
+  PhysicalPlan plan = PlanQuery(cluster, instance);
+  MeasureCandidates(cluster, instance, &plan);
+
+  const std::string json = plan.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  // Every candidate must appear with both loads filled.
+  for (const Candidate& c : plan.candidates) {
+    EXPECT_NE(json.find(std::string("\"algorithm\":\"") +
+                        AlgorithmName(c.algorithm) + "\""),
+              std::string::npos);
+    EXPECT_GE(c.measured_load, 0);
+  }
+  for (const char* key :
+       {"\"shape\"", "\"candidates\"", "\"chosen\"", "\"predicted_load\"",
+        "\"measured_load\"", "\"out_estimate\"", "\"join_estimate\"",
+        "\"planning\"", "\"execution\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+
+  const std::string text = plan.ToText();
+  EXPECT_NE(text.find("chosen"), std::string::npos);
+  EXPECT_NE(text.find(AlgorithmName(plan.chosen)), std::string::npos);
+}
+
+TEST(PlanRenderTest, SingleEdgeAndOverride) {
+  mpc::Cluster cluster(4);
+  Relation<S> rel(Schema{0, 1});
+  for (int i = 0; i < 50; ++i) rel.Add(Row{i % 10, i}, 1);
+  TreeInstance<S> instance{JoinTree({{0, 1}}, {0}), {}};
+  instance.relations.push_back(Distribute(cluster, std::move(rel)));
+
+  PlannerOptions options;
+  options.out_override = 10;
+  auto exec = PlanAndRun(cluster, instance, options);
+  EXPECT_EQ(exec.plan.chosen, Algorithm::kSingleRelation);
+  EXPECT_EQ(exec.plan.stats.out_estimate, 10);
+  EXPECT_FALSE(exec.plan.stats.out_is_estimated);
+  EXPECT_EQ(exec.plan.out_actual, 10);
+  EXPECT_TRUE(JsonValidator(exec.plan.ToJson()).Valid());
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace parjoin
