@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "parjoin/plan/cost_model.h"
+#include "parjoin/plan/executor.h"
 #include "parjoin/algorithms/hypercube.h"
 #include "parjoin/algorithms/matmul.h"
 #include "parjoin/algorithms/yannakakis.h"
@@ -84,6 +85,56 @@ void RunSweep(const std::string& title, int p,
   std::cout << std::endl;
 }
 
+// E4: the same matmul sweeps routed through the cost-based planner
+// (plan::PlanAndRun) instead of calling a fixed algorithm — the measured
+// load of the planner's pick, with the shared cost model's prediction
+// encoded in the entry name. Tracks whether planning overhead + choice
+// quality hold up as the tree grows.
+void RunPlannerSweep(const std::string& title, int p,
+                     const std::vector<MatMulBlockConfig>& configs,
+                     const std::string& sweep_tag,
+                     std::vector<bench::BenchJsonEntry>* json_entries) {
+  std::cout << title << " (planner-dispatched, p = " << p << ")\n";
+  TablePrinter table({"N1", "N2", "OUT", "chosen", "L_predicted",
+                      "L_measured", "L_planning", "rounds", "ms"});
+  for (const auto& cfg : configs) {
+    plan::PhysicalPlan chosen_plan;
+    bench::RunResult run = bench::Measure(p, 1, [&](mpc::Cluster& c) {
+      auto instance = GenMatMulBlocks<S>(c, cfg);
+      c.ResetStats();
+      auto exec = plan::PlanAndRun(c, std::move(instance));
+      chosen_plan = std::move(exec.plan);
+    });
+    // Measure() reports the ledger across planning + execution; the plan
+    // splits the two phases.
+    run.load = chosen_plan.execution_stats.max_load;
+    run.rounds = chosen_plan.execution_stats.rounds;
+    run.total_comm = chosen_plan.execution_stats.total_comm;
+    const std::int64_t predicted =
+        static_cast<std::int64_t>(chosen_plan.predicted_load);
+    table.AddRow({Fmt(cfg.n1()), Fmt(cfg.n2()), Fmt(chosen_plan.out_actual),
+                  plan::AlgorithmName(chosen_plan.chosen), Fmt(predicted),
+                  Fmt(chosen_plan.measured_load),
+                  Fmt(chosen_plan.planning_stats.max_load),
+                  Fmt(static_cast<std::int64_t>(run.rounds)),
+                  Fmt(run.wall_ms)});
+    bench::BenchJsonEntry entry;
+    entry.experiment = "E4";
+    entry.name = sweep_tag + "/N1=" + std::to_string(cfg.n1()) +
+                 "/N2=" + std::to_string(cfg.n2()) +
+                 "/OUT=" + std::to_string(chosen_plan.out_actual) +
+                 "/chosen=" + plan::AlgorithmName(chosen_plan.chosen) +
+                 "/pred=" + std::to_string(predicted);
+    entry.n = cfg.n1() + cfg.n2();
+    entry.p = p;
+    entry.threads = ParallelForThreads();
+    entry.result = run;
+    json_entries->push_back(std::move(entry));
+  }
+  table.Print(std::cout);
+  std::cout << std::endl;
+}
+
 }  // namespace
 }  // namespace parjoin
 
@@ -126,10 +177,24 @@ int main() {
   }
   RunSweep("Unequal N1/N2", p, unbalanced, "unbalanced", &json_entries);
 
+  std::vector<bench::BenchJsonEntry> planner_entries;
+  RunPlannerSweep("Sweep OUT at N ~ 20,000", p, out_sweep, "out-sweep",
+                  &planner_entries);
+  RunPlannerSweep("Sweep N at OUT ~ 4,096", p, n_sweep, "n-sweep",
+                  &planner_entries);
+  RunPlannerSweep("Unequal N1/N2", p, unbalanced, "unbalanced",
+                  &planner_entries);
+
   const std::string json_path = bench::BenchJsonPath();
   std::string error;
   if (bench::UpdateBenchJson(json_path, "E1", json_entries, &error)) {
     std::cout << "wrote " << json_entries.size() << " E1 entries to "
+              << json_path << "\n";
+  } else {
+    std::cerr << "BENCH json: " << error << "\n";
+  }
+  if (bench::UpdateBenchJson(json_path, "E4", planner_entries, &error)) {
+    std::cout << "wrote " << planner_entries.size() << " E4 entries to "
               << json_path << "\n";
   } else {
     std::cerr << "BENCH json: " << error << "\n";

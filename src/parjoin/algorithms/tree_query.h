@@ -156,7 +156,7 @@ EstimateMap EstimateX(mpc::Cluster& cluster, const TreeInstance<S>& instance,
       EstimateMap next;
       for (const auto& [b, cnt] : est.per_source) {
         auto it = x.find(b);
-        if (it != x.end()) next[b] = it->second * cnt;
+        if (it != x.end()) next[b] = it->second * static_cast<double>(cnt);
       }
       x = std::move(next);
     }

@@ -1,7 +1,8 @@
 #include "parjoin/common/logging.h"
 
 #include <cstdlib>
-#include <mutex>
+
+#include "parjoin/common/mutex.h"
 
 namespace parjoin {
 namespace internal_logging {
@@ -21,8 +22,11 @@ const char* SeverityName(Severity s) {
   return "?";
 }
 
-std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex;
+// Serializes emission so concurrent log lines (e.g. from ParallelFor
+// bodies) never interleave mid-line on stderr. Annotated so lock sites are
+// visible to clang's thread-safety analysis.
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex;
   return *mu;
 }
 
@@ -59,7 +63,7 @@ LogMessage::LogMessage(Severity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == Severity::kFatal) {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::cerr << stream_.str() << std::endl;
   }
   if (severity_ == Severity::kFatal) {

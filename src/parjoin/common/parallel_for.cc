@@ -1,17 +1,24 @@
 #include "parjoin/common/parallel_for.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/common/mutex.h"
+#include "parjoin/common/thread_annotations.h"
 
 namespace parjoin {
 
 namespace {
 
 std::atomic<int> g_thread_override{0};
+
+// Number of ParallelFor regions currently executing (any thread). Only
+// used to reject SetParallelForThreads mid-region; relaxed ordering is
+// enough because the check is a misuse assertion, not a synchronization.
+std::atomic<int> g_active_regions{0};
 
 int DefaultThreads() {
   if (const char* env = std::getenv("PARJOIN_THREADS")) {
@@ -24,72 +31,83 @@ int DefaultThreads() {
 
 thread_local bool t_on_pool_worker = false;
 
+// ParallelFor regions this thread is currently inside (its own calls, not
+// pool work executed on behalf of another thread's region).
+thread_local int t_region_depth = 0;
+
 // The persistent pool. Workers block on cv_work_ between regions; a region
 // is published as (body_, ctx_, participants_) under a generation bump.
 // Worker w participates when w <= participants_; Run() cannot return until
 // every participant decremented remaining_, so a worker can never observe
 // a region after its context died, and a region can never be skipped by a
 // participant (non-participants may skip generations freely).
+//
+// Lock discipline (machine-checked under clang -Wthread-safety):
+// run_mu_ serializes whole regions and is always acquired before mu_;
+// mu_ guards every piece of handoff state below.
 class WorkerPool {
  public:
-  void Run(int workers, void (*body)(void*, int), void* ctx) {
+  void Run(int workers, void (*body)(void*, int), void* ctx)
+      EXCLUDES(run_mu_, mu_) {
     // One region at a time: concurrent top-level ParallelFor calls (legal
     // before the pool existed) serialize instead of corrupting the
     // shared remaining_/participants_ handoff.
-    std::lock_guard<std::mutex> run_lock(run_mu_);
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock run_lock(run_mu_);
+    mu_.Lock();
     EnsureWorkersLocked(workers - 1);
     body_ = body;
     ctx_ = ctx;
     participants_ = workers - 1;
     remaining_ = workers - 1;
     ++generation_;
-    cv_work_.notify_all();
-    lock.unlock();
+    cv_work_.NotifyAll();
+    mu_.Unlock();
 
     body(ctx, 0);
 
-    lock.lock();
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    mu_.Lock();
+    while (remaining_ != 0) cv_done_.WaitOnce(mu_);
     body_ = nullptr;
     ctx_ = nullptr;
+    mu_.Unlock();
   }
 
  private:
-  void EnsureWorkersLocked(int count) {
+  void EnsureWorkersLocked(int count) REQUIRES(mu_) {
     while (static_cast<int>(threads_.size()) < count) {
       const int id = static_cast<int>(threads_.size()) + 1;
       threads_.emplace_back([this, id] { WorkerLoop(id); });
     }
   }
 
-  void WorkerLoop(int id) {
+  void WorkerLoop(int id) EXCLUDES(mu_) {
     t_on_pool_worker = true;
     std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lock(mu_);
+    mu_.Lock();
     while (true) {
-      cv_work_.wait(lock, [&] { return generation_ != seen; });
+      while (generation_ == seen) cv_work_.WaitOnce(mu_);
       seen = generation_;
       if (id > participants_) continue;
       void (*body)(void*, int) = body_;
       void* ctx = ctx_;
-      lock.unlock();
+      mu_.Unlock();
       body(ctx, id);
-      lock.lock();
-      if (--remaining_ == 0) cv_done_.notify_one();
+      mu_.Lock();
+      if (--remaining_ == 0) cv_done_.NotifyOne();
     }
   }
 
-  std::mutex run_mu_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::vector<std::thread> threads_;  // pool worker w runs threads_[w-1]
-  std::uint64_t generation_ = 0;
-  int participants_ = 0;
-  int remaining_ = 0;
-  void (*body_)(void*, int) = nullptr;
-  void* ctx_ = nullptr;
+  Mutex run_mu_ ACQUIRED_BEFORE(mu_);
+  Mutex mu_;
+  CondVar cv_work_;
+  CondVar cv_done_;
+  // Pool worker w runs threads_[w-1]; only grown, under mu_.
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+  int participants_ GUARDED_BY(mu_) = 0;
+  int remaining_ GUARDED_BY(mu_) = 0;
+  void (*body_)(void*, int) GUARDED_BY(mu_) = nullptr;
+  void* ctx_ GUARDED_BY(mu_) = nullptr;
 };
 
 WorkerPool& Pool() {
@@ -110,12 +128,38 @@ int ParallelForThreads() {
 }
 
 void SetParallelForThreads(int threads) {
+  // Enforced invariant (was a comment until PR 3): reconfiguring the
+  // thread count mid-region would change the strided chunking underneath
+  // live workers and silently break bit-identical determinism, so it
+  // fails loudly instead.
+  CHECK(!internal_parallel::OnPoolWorker())
+      << "SetParallelForThreads called from inside a ParallelFor pool "
+         "worker; reconfigure between regions, from the main thread";
+  CHECK_EQ(internal_parallel::ActiveRegions(), 0)
+      << "SetParallelForThreads called while a ParallelFor region is "
+         "running; reconfigure only between regions";
   g_thread_override.store(std::max(0, threads), std::memory_order_relaxed);
 }
 
 namespace internal_parallel {
 
 bool OnPoolWorker() { return t_on_pool_worker; }
+
+bool InNestedRegion() { return t_region_depth > 1; }
+
+int ActiveRegions() {
+  return g_active_regions.load(std::memory_order_relaxed);
+}
+
+RegionGuard::RegionGuard() {
+  g_active_regions.fetch_add(1, std::memory_order_relaxed);
+  ++t_region_depth;
+}
+
+RegionGuard::~RegionGuard() {
+  --t_region_depth;
+  g_active_regions.fetch_sub(1, std::memory_order_relaxed);
+}
 
 void RunOnPool(int workers, void (*body)(void*, int), void* ctx) {
   Pool().Run(workers, body, ctx);

@@ -17,8 +17,9 @@
 // thousands of small regions per query). The calling thread always
 // executes worker 0's chunk; pool threads execute workers 1..W-1 with the
 // same strided assignment as before, so outputs stay bit-identical at any
-// PARJOIN_THREADS setting. A ParallelFor issued from inside a pool worker
-// (nested parallelism) runs sequentially on that worker.
+// PARJOIN_THREADS setting. A ParallelFor issued from inside another
+// region (nested parallelism — on a pool worker or on the calling thread
+// itself) runs sequentially on the issuing thread.
 
 #ifndef PARJOIN_COMMON_PARALLEL_FOR_H_
 #define PARJOIN_COMMON_PARALLEL_FOR_H_
@@ -33,7 +34,10 @@ int ParallelForThreads();
 
 // Overrides the thread count for the current process. threads <= 0
 // restores the default (PARJOIN_THREADS env var, else hardware
-// concurrency). Not safe to call while a ParallelFor is running.
+// concurrency). Calling it while any ParallelFor region is running — from
+// a pool worker, from a region body, or from another thread — is a fatal
+// error (CHECK): a mid-region reconfiguration would change the strided
+// chunking underneath live workers. Reconfigure between regions only.
 void SetParallelForThreads(int threads);
 
 namespace internal_parallel {
@@ -41,6 +45,28 @@ namespace internal_parallel {
 // True on a pool worker thread; nested ParallelFor calls detect this and
 // run sequentially instead of deadlocking on the shared pool.
 bool OnPoolWorker();
+
+// True when the calling thread is already inside a ParallelFor region it
+// started itself (region depth > 1). The calling thread executes worker
+// 0's chunk while holding the pool's region lock, so a nested ParallelFor
+// there must also run sequentially — re-entering the pool would
+// self-deadlock.
+bool InNestedRegion();
+
+// Number of ParallelFor regions currently executing, across all threads.
+// SetParallelForThreads CHECKs this is zero.
+int ActiveRegions();
+
+// RAII marker bracketing one ParallelFor region (sequential or pooled);
+// keeps ActiveRegions() exact so the reconfiguration invariant is
+// enforceable.
+class RegionGuard {
+ public:
+  RegionGuard();
+  ~RegionGuard();
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+};
 
 // Runs body(ctx, w) for w in [0, workers): w = 0 on the calling thread,
 // w >= 1 on the persistent pool. Returns after every worker finished.
@@ -53,8 +79,11 @@ void RunOnPool(int workers, void (*body)(void*, int), void* ctx);
 // across iterations (other than read-only data).
 template <typename Fn>
 void ParallelFor(int n, Fn fn) {
+  if (n <= 0) return;
+  const internal_parallel::RegionGuard region;
   const int threads = ParallelForThreads();
-  if (n <= 1 || threads <= 1 || internal_parallel::OnPoolWorker()) {
+  if (n <= 1 || threads <= 1 || internal_parallel::OnPoolWorker() ||
+      internal_parallel::InNestedRegion()) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -1,0 +1,65 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These attach compile-time lock-discipline contracts to mutexes and the
+// data they protect: GUARDED_BY(mu) on a member means every access must
+// hold mu; REQUIRES(mu) on a function means callers must hold mu at entry;
+// ACQUIRE/RELEASE document lock transitions so clang can verify every path
+// balances. Compiling with clang and -Wthread-safety (-Werror in CI) turns
+// a violated contract into a build failure; on other compilers (or without
+// the attribute) every macro expands to nothing, so gcc builds are
+// unaffected.
+//
+// The macro set and spelling follow the canonical clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Use the
+// annotated wrappers in parjoin/common/mutex.h rather than raw std::mutex:
+// the analysis only understands types whose lock/unlock functions carry
+// these attributes.
+
+#ifndef PARJOIN_COMMON_THREAD_ANNOTATIONS_H_
+#define PARJOIN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PARJOIN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PARJOIN_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+// Declares a type to be a lockable capability ("mutex"-like).
+#define CAPABILITY(x) PARJOIN_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY PARJOIN_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: may only be accessed while holding the given mutex.
+#define GUARDED_BY(x) PARJOIN_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer members: the pointee may only be accessed holding the mutex.
+#define PT_GUARDED_BY(x) PARJOIN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: the caller must hold (REQUIRES) / must NOT hold (EXCLUDES)
+// the listed capabilities at entry.
+#define REQUIRES(...) \
+  PARJOIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) PARJOIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire / release the listed capabilities.
+#define ACQUIRE(...) PARJOIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) PARJOIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  PARJOIN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Returns a reference to the capability protecting the returned data.
+#define RETURN_CAPABILITY(x) PARJOIN_THREAD_ANNOTATION(lock_returned(x))
+
+// Lock-ordering documentation (checked under -Wthread-safety-beta).
+#define ACQUIRED_BEFORE(...) \
+  PARJOIN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  PARJOIN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a one-line justification comment at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PARJOIN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PARJOIN_COMMON_THREAD_ANNOTATIONS_H_

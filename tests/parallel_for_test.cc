@@ -6,6 +6,7 @@
 #include "parjoin/common/parallel_for.h"
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -43,9 +44,10 @@ TEST(ParallelForTest, PerSlotWritesMatchSequential) {
   constexpr int kN = 257;
   std::vector<std::int64_t> parallel_out(kN), sequential_out(kN);
   auto work = [](int i) {
-    std::int64_t acc = i;
-    for (int k = 0; k < 100; ++k) acc = acc * 6364136223846793005LL + 1;
-    return acc;
+    // Unsigned: the multiply wraps, and signed wraparound is UB at -O3.
+    std::uint64_t acc = static_cast<std::uint64_t>(i);
+    for (int k = 0; k < 100; ++k) acc = acc * 6364136223846793005ULL + 1;
+    return static_cast<std::int64_t>(acc);
   };
   ParallelFor(kN, [&](int i) {
     parallel_out[static_cast<size_t>(i)] = work(i);
@@ -73,6 +75,45 @@ TEST(ParallelForTest, SetParallelForThreadsOverridesAndRestores) {
   }
   SetParallelForThreads(0);
   EXPECT_EQ(ParallelForThreads(), default_threads);
+}
+
+TEST(ParallelForDeathTest, ReconfigureInsideRegionDies) {
+  // "Not safe to call while a ParallelFor is running" is an enforced
+  // invariant since PR 3: reconfiguring mid-region CHECK-fails even on
+  // the sequential path (the region is still live).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SetParallelForThreads(1);
+  EXPECT_DEATH(ParallelFor(4, [](int) { SetParallelForThreads(2); }),
+               "while a ParallelFor region is running");
+  SetParallelForThreads(0);
+}
+
+TEST(ParallelForDeathTest, ReconfigureFromPoolWorkerDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SetParallelForThreads(2);
+  EXPECT_DEATH(ParallelFor(8,
+                           [](int) {
+                             if (internal_parallel::OnPoolWorker()) {
+                               SetParallelForThreads(3);
+                             }
+                           }),
+               "pool worker|while a ParallelFor region is running");
+  SetParallelForThreads(0);
+}
+
+TEST(ParallelForTest, ReconfigureBetweenRegionsStaysLegal) {
+  // The enforced invariant must not reject the documented-legal pattern:
+  // reconfigure on the main thread with no region live.
+  for (int t = 1; t <= 4; ++t) {
+    SetParallelForThreads(t);
+    int count = 0;
+    std::vector<std::atomic<int>> hits(50);
+    ParallelFor(50, [&](int i) { hits[static_cast<size_t>(i)] += 1; });
+    for (int i = 0; i < 50; ++i) count += hits[static_cast<size_t>(i)].load();
+    EXPECT_EQ(count, 50) << "threads " << t;
+  }
+  SetParallelForThreads(0);
+  EXPECT_EQ(internal_parallel::ActiveRegions(), 0);
 }
 
 TEST(ParallelForIntegrationTest, MatMulResultAndLedgerThreadIndependent) {

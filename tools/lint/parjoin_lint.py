@@ -1,0 +1,534 @@
+#!/usr/bin/env python3
+"""parjoin_lint: repo-specific invariant linter for the parjoin tree.
+
+Generic tools (clang-tidy, -Wthread-safety, TSan) cannot see *project*
+invariants — that all inter-server data movement flows through the
+accounted mpc::Exchange path, that every byte of randomness derives from
+seeded streams, that threading stays contained in the one audited pool.
+This linter enforces those. It is intentionally regex/heuristic based: the
+rules are scoped so the heuristics are exact on this codebase, and every
+rule has an escape hatch that demands a written justification.
+
+Rules (ids used by `// parjoin-lint: allow(<id>): <why>` suppressions):
+
+  thread-primitive     std::thread / std::jthread / std::async / pthread_*
+                       only inside src/parjoin/common/parallel_for.cc. All
+                       other code parallelizes through ParallelFor, whose
+                       pool is the single audited concurrency surface.
+  raw-sync             std::mutex / condition_variable / lock_guard /
+                       unique_lock / scoped_lock only inside
+                       src/parjoin/common/mutex.h. Everything else uses the
+                       annotated Mutex/MutexLock/CondVar wrappers so clang
+                       -Wthread-safety sees every lock site.
+  nondet-random        rand() / srand / std::random_device / std::mt19937 /
+                       <random> / time()-or-chrono-derived seeds are banned
+                       in src/: all randomness flows from explicit 64-bit
+                       seeds via common/random.h (determinism is a tested
+                       library guarantee). std::chrono is allowed only in
+                       common/stopwatch.h (wall timing, never seeding).
+  unchecked-count-mul  In algorithm headers, `*` on tuple-count/degree
+                       quantities (deg*/count*/cnt/out_est/...) must go
+                       through common/checked_math.h (CheckedMul /
+                       SaturatingMul) or explicit double math: a silently
+                       wrapped count corrupts heavy thresholds and every
+                       routing decision downstream.
+  cross-part-write     Outside src/parjoin/mpc/, writing into a Dist part
+                       (`.part(e).push_back(...)`, `.part(e) = ...`) is
+                       only legal when `e` is a loop induction variable —
+                       i.e. a same-server rearrangement. Computed
+                       destinations mean cross-server movement, which must
+                       go through mpc::Exchange/ExchangeMulti so the load
+                       ledger stays exact.
+  header-guard         Headers use canonical PARJOIN_<PATH>_H_ guards
+                       (never #pragma once), matching their path.
+  include-hygiene      Project headers are quote-included by full path;
+                       C++ standard headers are angle-included; a .cc file
+                       includes its own header first.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+CPP_EXTS = (".cc", ".h", ".cpp")
+SCAN_DIRS = ("src", "bench", "tests", "examples")
+
+ALLOW_RE = re.compile(r"parjoin-lint:\s*allow\(([a-z-]+)\)")
+
+# C++ standard headers one might plausibly quote-include by mistake.
+STD_HEADERS = {
+    "algorithm", "array", "atomic", "cassert", "chrono", "cmath",
+    "condition_variable", "cstdint", "cstdio", "cstdlib", "cstring",
+    "deque", "filesystem", "fstream", "functional", "iomanip", "iostream",
+    "limits", "map", "memory", "mutex", "numeric", "optional", "queue",
+    "random", "set", "sstream", "stdexcept", "string", "string_view",
+    "thread", "tuple", "type_traits", "unordered_map", "unordered_set",
+    "utility", "variant", "vector",
+}
+
+COUNT_IDENT_RE = re.compile(
+    r"^(?:deg\w*|degree\w*|cnt\w*|count\w*|n_tuples\w*|num_tuples\w*|"
+    r"out_est\w*|j_est\w*|total_size\w*|nnz\w*)$",
+    re.IGNORECASE,
+)
+
+LOOP_VAR_RES = (
+    # for (int s = ...;  /  for (std::int64_t s : ...
+    re.compile(r"for\s*\(\s*(?:const\s+)?[\w:]+\s+(\w+)\s*[=:]"),
+    # ParallelFor(n, [..](int s) { ... and other int-taking lambdas
+    re.compile(r"\[[^\]]*\]\s*\(\s*(?:const\s+)?(?:std::)?\w+\s+(\w+)\s*\)"),
+)
+
+PART_WRITE_RE = re.compile(
+    r"\.part\(\s*([^()]*(?:\([^()]*\)[^()]*)*)\s*\)\s*"
+    r"(?:\.push_back|\.emplace_back|\.emplace|\.insert|\.clear|\.resize"
+    r"|=(?!=)|\+=)"
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(lines):
+    """Returns lines with comments and string/char literals blanked out
+    (same length preserved so column positions survive)."""
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i, n = 0, len(raw)
+        in_str = in_chr = False
+        while i < n:
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                    continue
+                buf.append(" ")
+                i += 1
+            elif in_str or in_chr:
+                if c == "\\":
+                    buf.append("  ")
+                    i += 2
+                    continue
+                if (in_str and c == '"') or (in_chr and c == "'"):
+                    in_str = in_chr = False
+                    buf.append(c)
+                else:
+                    buf.append(" ")
+                i += 1
+            elif c == "/" and nxt == "/":
+                buf.append(" " * (n - i))
+                break
+            elif c == "/" and nxt == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif c == '"':
+                in_str = True
+                buf.append(c)
+                i += 1
+            elif c == "'":
+                # Heuristic: treat as char literal only when it closes
+                # nearby (avoids eating digit separators like 1'000'000).
+                close = raw.find("'", i + 1)
+                if 0 < close - i <= 4 or (close > i and raw[i + 1] == "\\"):
+                    in_chr = True
+                    buf.append(c)
+                    i += 1
+                else:
+                    buf.append(" ")
+                    i += 1
+            else:
+                buf.append(c)
+                i += 1
+        # Unterminated string/char at EOL: literal ends with the line.
+        in_str = in_chr = False
+        out.append("".join(buf))
+    return out
+
+
+def allowed(rule, raw_lines, idx):
+    """True when line idx (0-based) or the line above carries an allow
+    pragma for `rule`."""
+    for j in (idx, idx - 1):
+        if 0 <= j < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[j])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def relpath(path, root):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+# --- rules -------------------------------------------------------------------
+
+
+def check_thread_primitive(rel, raw, code, findings):
+    if rel == "src/parjoin/common/parallel_for.cc":
+        return
+    if rel.startswith("tests/"):
+        return  # test scaffolding may drive threads directly
+    pat = re.compile(r"std::thread\b|std::jthread\b|std::async\b|pthread_\w+")
+    for i, line in enumerate(code):
+        m = pat.search(line)
+        if m and not allowed("thread-primitive", raw, i):
+            findings.append(Finding(
+                rel, i + 1, "thread-primitive",
+                f"'{m.group(0)}' outside common/parallel_for.cc; use "
+                "ParallelFor (the one audited pool)"))
+
+
+def check_raw_sync(rel, raw, code, findings):
+    if rel in ("src/parjoin/common/mutex.h",):
+        return
+    if rel.startswith("tests/"):
+        return
+    pat = re.compile(
+        r"std::(?:mutex|shared_mutex|recursive_mutex|condition_variable\w*"
+        r"|lock_guard|unique_lock|scoped_lock)\b")
+    for i, line in enumerate(code):
+        m = pat.search(line)
+        if m and not allowed("raw-sync", raw, i):
+            findings.append(Finding(
+                rel, i + 1, "raw-sync",
+                f"'{m.group(0)}' outside common/mutex.h; use the annotated "
+                "Mutex/MutexLock/CondVar so -Wthread-safety sees the lock"))
+
+
+def check_nondet_random(rel, raw, code, findings):
+    if not rel.startswith("src/"):
+        return
+    pat = re.compile(
+        r"\brand\s*\(|\bsrand\s*\(|std::random_device\b|std::mt19937\w*\b|"
+        r"std::default_random_engine\b|#\s*include\s*<random>|"
+        r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)")
+    chrono = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
+    for i, line in enumerate(code):
+        m = pat.search(line)
+        if m and not allowed("nondet-random", raw, i):
+            findings.append(Finding(
+                rel, i + 1, "nondet-random",
+                f"'{m.group(0).strip()}' in src/; all randomness must "
+                "derive from explicit seeds via common/random.h"))
+        if rel != "src/parjoin/common/stopwatch.h":
+            m = chrono.search(line)
+            if m and not allowed("nondet-random", raw, i):
+                findings.append(Finding(
+                    rel, i + 1, "nondet-random",
+                    "std::chrono outside common/stopwatch.h; time must "
+                    "never feed seeds or program logic"))
+
+
+def check_unchecked_count_mul(rel, raw, code, findings):
+    if not (rel.startswith("src/parjoin/algorithms/") and rel.endswith(".h")):
+        return
+    for i, line in enumerate(code):
+        for m in re.finditer(r"(\w+)\s*\*\s*(\w+)", line):
+            operands = (m.group(1), m.group(2))
+            if not any(COUNT_IDENT_RE.match(op) for op in operands):
+                continue
+            # `T* count` declarations and `*count` derefs are not products.
+            if re.search(r"(?:int\w*|size_t|auto|double|float)\s*\*\s*$",
+                         line[: m.start(2)]):
+                continue
+            if allowed("unchecked-count-mul", raw, i):
+                continue
+            findings.append(Finding(
+                rel, i + 1, "unchecked-count-mul",
+                f"raw '*' on count-like operand in '{m.group(0)}'; use "
+                "CheckedMul/SaturatingMul from common/checked_math.h or "
+                "explicit double math"))
+
+
+def check_cross_part_write(rel, raw, code, findings):
+    if not rel.startswith("src/parjoin/") or rel.startswith("src/parjoin/mpc/"):
+        return
+    # Collect loop induction variables visible upstream of each line.
+    for i, line in enumerate(code):
+        m = PART_WRITE_RE.search(line)
+        if m is None:
+            continue
+        arg = m.group(1).strip()
+        if allowed("cross-part-write", raw, i):
+            continue
+        loop_vars = set()
+        for j in range(max(0, i - 60), i + 1):
+            for lre in LOOP_VAR_RES:
+                for lm in lre.finditer(code[j]):
+                    loop_vars.add(lm.group(1))
+        if re.fullmatch(r"\w+", arg) and arg in loop_vars:
+            continue  # same-server rearrangement over a loop over parts
+        findings.append(Finding(
+            rel, i + 1, "cross-part-write",
+            f"write into .part({arg}) with a computed destination; "
+            "cross-server movement must go through mpc::Exchange/"
+            "ExchangeMulti so the load ledger stays exact"))
+
+
+def canonical_guard(rel):
+    if rel.startswith("src/parjoin/"):
+        stem = rel[len("src/parjoin/"):]
+    elif rel.startswith("src/"):
+        stem = rel[len("src/"):]
+    else:
+        stem = rel
+    return "PARJOIN_" + re.sub(r"[/.]", "_", stem).upper() + "_"
+
+
+def check_header_guard(rel, raw, code, findings):
+    if not rel.endswith(".h"):
+        return
+    text = "\n".join(code)
+    if "#pragma once" in text:
+        findings.append(Finding(rel, 1, "header-guard",
+                                "#pragma once; use a PARJOIN_*_H_ guard"))
+        return
+    want = canonical_guard(rel)
+    m = re.search(r"#\s*ifndef\s+(\w+)\s*\n\s*#\s*define\s+(\w+)", text)
+    if m is None:
+        findings.append(Finding(rel, 1, "header-guard",
+                                f"missing include guard (expected {want})"))
+        return
+    if m.group(1) != want or m.group(2) != want:
+        findings.append(Finding(
+            rel, 1, "header-guard",
+            f"guard {m.group(1)} does not match canonical {want}"))
+
+
+def check_include_hygiene(rel, raw, code, findings, root):
+    own_header = None
+    if rel.endswith((".cc", ".cpp")):
+        base = rel.rsplit(".", 1)[0] + ".h"
+        if os.path.exists(os.path.join(root, base)):
+            if base.startswith("src/"):
+                own_header = base[len("src/"):]
+            else:
+                own_header = os.path.basename(base)
+    first_include = None
+    # Parse raw lines: strip_code blanks string contents, which would
+    # erase quote-include targets.
+    for i, line in enumerate(raw):
+        m = re.match(r'\s*#\s*include\s*([<"])([^>"]+)[>"]', line)
+        if m is None:
+            continue
+        style, target = m.group(1), m.group(2)
+        if first_include is None:
+            first_include = (i, target)
+        if allowed("include-hygiene", raw, i):
+            continue
+        if style == "<" and (target.startswith("parjoin/") or
+                             target.startswith("src/")):
+            findings.append(Finding(
+                rel, i + 1, "include-hygiene",
+                f"project header <{target}> must be quote-included"))
+        if style == '"' and target in STD_HEADERS:
+            findings.append(Finding(
+                rel, i + 1, "include-hygiene",
+                f'standard header "{target}" must be angle-included'))
+        if style == '"' and target.startswith("src/"):
+            findings.append(Finding(
+                rel, i + 1, "include-hygiene",
+                f'"{target}": include project headers as "parjoin/..." '
+                "(src/ is the include root)"))
+    if own_header is not None and first_include is not None:
+        i, target = first_include
+        if target != own_header and not allowed("include-hygiene", raw, i):
+            findings.append(Finding(
+                rel, i + 1, "include-hygiene",
+                f'first include must be own header "{own_header}" '
+                f'(found "{target}")'))
+
+
+RULES = [
+    "thread-primitive", "raw-sync", "nondet-random", "unchecked-count-mul",
+    "cross-part-write", "header-guard", "include-hygiene",
+]
+
+
+def lint_file(path, root):
+    rel = relpath(path, root)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            raw = f.read().splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding(rel, 0, "io", f"unreadable: {e}")]
+    code = strip_code(raw)
+    findings = []
+    check_thread_primitive(rel, raw, code, findings)
+    check_raw_sync(rel, raw, code, findings)
+    check_nondet_random(rel, raw, code, findings)
+    check_unchecked_count_mul(rel, raw, code, findings)
+    check_cross_part_write(rel, raw, code, findings)
+    check_header_guard(rel, raw, code, findings)
+    check_include_hygiene(rel, raw, code, findings, root)
+    return findings
+
+
+def lint_tree(root):
+    findings = []
+    for d in SCAN_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, files in os.walk(top):
+            for name in sorted(files):
+                if name.endswith(CPP_EXTS):
+                    findings.extend(lint_file(os.path.join(dirpath, name),
+                                              root))
+    return findings
+
+
+# --- self-test ---------------------------------------------------------------
+
+# One deliberately seeded violation per rule, plus a clean control file.
+SELF_TEST_CASES = [
+    ("thread-primitive", "src/parjoin/algorithms/bad_thread.h",
+     "#ifndef PARJOIN_ALGORITHMS_BAD_THREAD_H_\n"
+     "#define PARJOIN_ALGORITHMS_BAD_THREAD_H_\n"
+     "#include <thread>\n"
+     "inline void f() { std::thread t([]{}); t.join(); }\n"
+     "#endif  // PARJOIN_ALGORITHMS_BAD_THREAD_H_\n"),
+    ("raw-sync", "src/parjoin/relation/bad_sync.h",
+     "#ifndef PARJOIN_RELATION_BAD_SYNC_H_\n"
+     "#define PARJOIN_RELATION_BAD_SYNC_H_\n"
+     "#include <mutex>\n"
+     "inline std::mutex g_mu;\n"
+     "#endif  // PARJOIN_RELATION_BAD_SYNC_H_\n"),
+    ("nondet-random", "src/parjoin/workload/bad_random.h",
+     "#ifndef PARJOIN_WORKLOAD_BAD_RANDOM_H_\n"
+     "#define PARJOIN_WORKLOAD_BAD_RANDOM_H_\n"
+     "inline int f() { return rand() % 7; }\n"
+     "#endif  // PARJOIN_WORKLOAD_BAD_RANDOM_H_\n"),
+    ("nondet-random", "src/parjoin/workload/bad_seed.h",
+     "#ifndef PARJOIN_WORKLOAD_BAD_SEED_H_\n"
+     "#define PARJOIN_WORKLOAD_BAD_SEED_H_\n"
+     "#include <random>\n"
+     "inline std::mt19937 g(std::random_device{}());\n"
+     "#endif  // PARJOIN_WORKLOAD_BAD_SEED_H_\n"),
+    ("unchecked-count-mul", "src/parjoin/algorithms/bad_mul.h",
+     "#ifndef PARJOIN_ALGORITHMS_BAD_MUL_H_\n"
+     "#define PARJOIN_ALGORITHMS_BAD_MUL_H_\n"
+     "inline long f(long deg_r, long deg_s) { return deg_r * deg_s; }\n"
+     "#endif  // PARJOIN_ALGORITHMS_BAD_MUL_H_\n"),
+    ("cross-part-write", "src/parjoin/algorithms/bad_part.h",
+     "#ifndef PARJOIN_ALGORITHMS_BAD_PART_H_\n"
+     "#define PARJOIN_ALGORITHMS_BAD_PART_H_\n"
+     "template <typename D, typename T>\n"
+     "void f(D& out, const T& item, int p) {\n"
+     "  const int dest = Hash(item) % p;\n"
+     "  out.part(dest).push_back(item);\n"
+     "}\n"
+     "#endif  // PARJOIN_ALGORITHMS_BAD_PART_H_\n"),
+    ("header-guard", "src/parjoin/common/bad_guard.h",
+     "#pragma once\n"
+     "inline int f() { return 1; }\n"),
+    ("include-hygiene", "src/parjoin/common/bad_include.cc",
+     "#include <parjoin/common/bad_include.h>\n"
+     "#include \"vector\"\n"),
+]
+
+SELF_TEST_CLEAN = (
+    "src/parjoin/algorithms/good.h",
+    "#ifndef PARJOIN_ALGORITHMS_GOOD_H_\n"
+    "#define PARJOIN_ALGORITHMS_GOOD_H_\n"
+    "#include <vector>\n"
+    "#include \"parjoin/common/checked_math.h\"\n"
+    "template <typename D, typename T>\n"
+    "void Rearrange(D& out, const D& in) {\n"
+    "  for (int s = 0; s < in.num_parts(); ++s) {\n"
+    "    for (const T& t : in.part(s)) out.part(s).push_back(t);\n"
+    "  }\n"
+    "}\n"
+    "inline long Product(long deg_r, long deg_s) {\n"
+    "  return parjoin::CheckedMul(deg_r, deg_s);\n"
+    "}\n"
+    "inline long Allowed(long count_a, long b) {\n"
+    "  // parjoin-lint: allow(unchecked-count-mul): b is a constant <= 8\n"
+    "  return count_a * b;\n"
+    "}\n"
+    "#endif  // PARJOIN_ALGORITHMS_GOOD_H_\n",
+)
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="parjoin_lint_selftest") as tmp:
+        for rule, rel, content in SELF_TEST_CASES:
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+            hits = [f for f in lint_file(path, tmp) if f.rule == rule]
+            if not hits:
+                failures.append(f"seeded {rule} violation in {rel} "
+                                "was NOT caught")
+            for other in lint_file(path, tmp):
+                if other.rule not in RULES:
+                    failures.append(f"unexpected rule id {other.rule}")
+            os.remove(path)
+        rel, content = SELF_TEST_CLEAN
+        path = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        noise = lint_file(path, tmp)
+        for f in noise:
+            failures.append(f"clean control file flagged: {f}")
+    if failures:
+        print("parjoin_lint self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"parjoin_lint self-test passed "
+          f"({len(SELF_TEST_CASES)} seeded violations caught, "
+          "clean control file quiet)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels up from this file)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify each rule catches a seeded violation")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"parjoin_lint: {len(findings)} finding(s)")
+        return 1
+    print("parjoin_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
