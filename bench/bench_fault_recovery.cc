@@ -1,0 +1,134 @@
+// E5 — the price of resilience: checkpoint and recovery overhead.
+//
+// Three configurations of the same plan::PlanAndRun call, on the matmul
+// and line workloads:
+//   baseline     resilience off (the fast path: no checkpoints, no
+//                checksums, no budget)
+//   checkpoint   round-boundary replication every 2 rounds, no faults —
+//                the steady-state insurance premium
+//   faulted      full deterministic fault schedule (fail-stop crash +
+//                straggler + corrupted message) with replay from the
+//                checkpoint — what an actual failure costs end to end
+//
+// recovery_comm isolates the resilience traffic inside total_comm;
+// critical_path shows the straggler stretching wall-clock that max_load
+// cannot see. The faulted run's outputs are bit-identical to the
+// baseline's (tests/fault_tolerance_test.cc asserts this; here we only
+// price it).
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "parjoin/common/parallel_for.h"
+#include "parjoin/common/table_printer.h"
+#include "parjoin/plan/executor.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+struct Workload {
+  std::string name;
+  std::int64_t n;
+  std::function<TreeInstance<S>(mpc::Cluster&)> make;
+};
+
+struct Config {
+  std::string name;
+  plan::ExecutionOptions options;
+};
+
+}  // namespace
+}  // namespace parjoin
+
+int main() {
+  using namespace parjoin;
+  const int p = 16;
+  bench::PrintHeader(
+      "E5", "fault-tolerant runtime overhead",
+      "plan::PlanAndRun with resilience off / checkpointing / a full fault "
+      "schedule (crash + straggler + corruption, seed 7).");
+
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"matmul", 20000, [](mpc::Cluster& c) {
+         return GenMatMulBlocks<S>(
+             c, MatMulBlockConfig::FromTargets(20000, 4096, 8));
+       }});
+  workloads.push_back({"line", 4 * 6 * 16 * 16, [](mpc::Cluster& c) {
+                         LineBlockConfig cfg;
+                         cfg.arity = 3;
+                         cfg.blocks = 6;
+                         cfg.side_end = 16;
+                         cfg.side_mid = 16;
+                         return GenLineBlocks<S>(c, cfg);
+                       }});
+
+  std::vector<Config> configs;
+  configs.push_back({"baseline", plan::ExecutionOptions{}});
+  {
+    plan::ExecutionOptions options;
+    options.checkpoint_interval = 2;
+    configs.push_back({"checkpoint", options});
+  }
+  {
+    plan::ExecutionOptions options;
+    options.faults.enabled = true;
+    options.faults.seed = 7;
+    options.checkpoint_interval = 2;
+    configs.push_back({"faulted", options});
+  }
+
+  std::vector<bench::BenchJsonEntry> json_entries;
+  TablePrinter table({"workload", "config", "max_load", "rounds",
+                      "total_comm", "recovery_comm", "critical_path",
+                      "load_vs_base", "comm_vs_base"});
+  for (const Workload& w : workloads) {
+    bench::RunResult base;
+    for (const Config& cfg : configs) {
+      std::string attempts;
+      const bench::RunResult r =
+          bench::Measure(p, 1, [&](mpc::Cluster& c) {
+            auto exec = plan::PlanAndRun(c, w.make(c),
+                                         plan::PlannerOptions{}, cfg.options);
+            attempts = std::to_string(exec.plan.recovery.attempts);
+          });
+      if (cfg.name == "baseline") base = r;
+      table.AddRow({w.name, cfg.name + " (x" + attempts + ")", Fmt(r.load),
+                    Fmt(static_cast<std::int64_t>(r.rounds)),
+                    Fmt(r.total_comm), Fmt(r.recovery_comm),
+                    Fmt(r.critical_path),
+                    bench::Ratio(static_cast<double>(r.load),
+                                 static_cast<double>(base.load)),
+                    bench::Ratio(static_cast<double>(r.total_comm),
+                                 static_cast<double>(base.total_comm))});
+      bench::BenchJsonEntry entry;
+      entry.experiment = "E5";
+      entry.name = w.name + "/" + cfg.name + "/p=" + std::to_string(p);
+      entry.n = w.n;
+      entry.p = p;
+      entry.threads = ParallelForThreads();
+      entry.result = r;
+      json_entries.push_back(entry);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << std::endl;
+
+  const std::string json_path = bench::BenchJsonPath();
+  std::string error;
+  if (bench::UpdateBenchJson(json_path, "E5", json_entries, &error)) {
+    std::cout << "wrote " << json_entries.size() << " E5 entries to "
+              << json_path << "\n";
+  } else {
+    std::cerr << "BENCH json: " << error << "\n";
+  }
+  return 0;
+}

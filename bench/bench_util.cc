@@ -19,6 +19,8 @@ RunResult Measure(int p, std::uint64_t seed,
   result.load = cluster.stats().max_load;
   result.rounds = cluster.stats().rounds;
   result.total_comm = cluster.stats().total_comm;
+  result.critical_path = cluster.stats().critical_path;
+  result.recovery_comm = cluster.stats().recovery_comm;
   return result;
 }
 
@@ -40,17 +42,20 @@ void PrintHeader(const std::string& experiment_id,
 namespace {
 
 std::string FormatEntry(const BenchJsonEntry& e) {
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "    {\"experiment\": \"%s\", \"name\": \"%s\", "
                 "\"n\": %lld, \"p\": %d, \"threads\": %d, "
                 "\"wall_ms\": %.3f, \"max_load\": %lld, \"rounds\": %d, "
-                "\"total_comm\": %lld}",
+                "\"total_comm\": %lld, \"critical_path\": %lld, "
+                "\"recovery_comm\": %lld}",
                 e.experiment.c_str(), e.name.c_str(),
                 static_cast<long long>(e.n), e.p, e.threads,
                 e.result.wall_ms, static_cast<long long>(e.result.load),
                 e.result.rounds,
-                static_cast<long long>(e.result.total_comm));
+                static_cast<long long>(e.result.total_comm),
+                static_cast<long long>(e.result.critical_path),
+                static_cast<long long>(e.result.recovery_comm));
   return buf;
 }
 

@@ -18,9 +18,11 @@ namespace parjoin {
 namespace bench {
 
 struct RunResult {
-  std::int64_t load = 0;       // stats().max_load
-  int rounds = 0;              // stats().rounds
-  std::int64_t total_comm = 0; // stats().total_comm
+  std::int64_t load = 0;           // stats().max_load
+  int rounds = 0;                  // stats().rounds
+  std::int64_t total_comm = 0;     // stats().total_comm
+  std::int64_t critical_path = 0;  // stats().critical_path
+  std::int64_t recovery_comm = 0;  // stats().recovery_comm
   double wall_ms = 0;
 };
 

@@ -1,8 +1,16 @@
 // query_runner: run an arbitrary tree join-aggregate query from files.
 //
 // Usage:
-//   example_query_runner <spec-file>
+//   example_query_runner [flags] <spec-file>
 //   example_query_runner --demo        (writes and runs a sample spec)
+//
+// Flags:
+//   --json                       also dump the plan as JSON
+//   --faults=<seed>              deterministic fault injection (crash +
+//                                straggler + corrupted message per run)
+//   --checkpoint-interval=<r>    replicate state every r rounds
+//   --load-budget-factor=<f>     abort rounds above f x predicted load and
+//                                degrade onto the Yannakakis baseline
 //
 // Spec format (one directive per line; '#' comments):
 //   p <servers>                        cluster size (default 16)
@@ -13,16 +21,19 @@
 // Relations are CSVs of "v1,v2,annotation" rows (counting semiring).
 // The runner plans the query with the cost-based planner (classification,
 // OUT/J estimation, candidate scoring), executes the chosen algorithm via
-// plan::PlanAndRun, prints the plan with predicted vs. measured load, and
-// writes the aggregated result. Pass --json to additionally dump the plan
-// as machine-readable JSON.
+// plan::PlanAndRun, prints the plan with predicted vs. measured load (and
+// the recovery report when resilience is on), and writes the aggregated
+// result. Malformed specs and CSVs surface as Status errors and a non-zero
+// exit — never an abort.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "parjoin/common/status.h"
 #include "parjoin/plan/executor.h"
 #include "parjoin/relation/io.h"
 #include "parjoin/semiring/semirings.h"
@@ -44,12 +55,12 @@ struct Spec {
   std::string result_path = "result.csv";
 };
 
-bool ParseSpec(const std::string& path, Spec* spec, std::string* error) {
+parjoin::StatusOr<Spec> ParseSpec(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    *error = "cannot open spec " + path;
-    return false;
+    return parjoin::NotFoundError("cannot open spec " + path);
   }
+  Spec spec;
   std::string line;
   int line_number = 0;
   while (std::getline(in, line)) {
@@ -59,76 +70,107 @@ bool ParseSpec(const std::string& path, Spec* spec, std::string* error) {
     std::string directive;
     tokens >> directive;
     if (directive == "p") {
-      tokens >> spec->p;
+      tokens >> spec.p;
+      if (tokens.fail() || spec.p < 1) {
+        return parjoin::InvalidArgumentError(
+            path + ":" + std::to_string(line_number) +
+            ": 'p' needs a positive server count");
+      }
     } else if (directive == "edge") {
       SpecEdge e;
       tokens >> e.u >> e.v >> e.path;
-      spec->edges.push_back(e);
+      if (tokens.fail() || e.path.empty()) {
+        return parjoin::InvalidArgumentError(
+            path + ":" + std::to_string(line_number) +
+            ": 'edge' needs <attrU> <attrV> <csv-path>");
+      }
+      spec.edges.push_back(e);
     } else if (directive == "output") {
       parjoin::AttrId a;
-      while (tokens >> a) spec->outputs.push_back(a);
+      while (tokens >> a) spec.outputs.push_back(a);
     } else if (directive == "result") {
-      tokens >> spec->result_path;
+      tokens >> spec.result_path;
     } else {
-      *error = path + ":" + std::to_string(line_number) +
-               ": unknown directive '" + directive + "'";
-      return false;
-    }
-    if (tokens.bad()) {
-      *error = path + ":" + std::to_string(line_number) + ": parse error";
-      return false;
+      return parjoin::InvalidArgumentError(
+          path + ":" + std::to_string(line_number) +
+          ": unknown directive '" + directive + "'");
     }
   }
-  if (spec->edges.empty()) {
-    *error = "spec has no edges";
-    return false;
+  if (spec.edges.empty()) {
+    return parjoin::InvalidArgumentError("spec has no edges");
   }
-  return true;
+  return spec;
 }
 
-int RunSpec(const Spec& spec, bool dump_json) {
+int RunSpec(const Spec& spec, bool dump_json,
+            const parjoin::plan::ExecutionOptions& exec_options) {
   std::vector<parjoin::QueryEdge> edges;
   for (const auto& e : spec.edges) edges.push_back({e.u, e.v});
-  parjoin::JoinTree query(edges, spec.outputs);
-
-  parjoin::mpc::Cluster cluster(spec.p);
-  parjoin::TreeInstance<S> instance{query, {}};
-  for (const auto& e : spec.edges) {
-    parjoin::Relation<S> rel;
-    std::string error;
-    if (!parjoin::LoadRelationCsv(e.path, parjoin::Schema{e.u, e.v}, &rel,
-                                  &error)) {
-      std::cerr << "error: " << error << "\n";
-      return 1;
-    }
-    std::cout << "  loaded " << e.path << ": " << rel.size() << " tuples\n";
-    instance.relations.push_back(parjoin::Distribute(cluster, rel));
+  auto query = parjoin::JoinTree::Create(edges, spec.outputs);
+  if (!query.ok()) {
+    std::cerr << "error: invalid query: " << query.status() << "\n";
+    return 1;
   }
 
-  auto exec = parjoin::plan::PlanAndRun(cluster, std::move(instance));
+  parjoin::mpc::Cluster cluster(spec.p);
+  parjoin::TreeInstance<S> instance{std::move(query).value(), {}};
+  for (const auto& e : spec.edges) {
+    auto rel =
+        parjoin::LoadRelationCsv<S>(e.path, parjoin::Schema{e.u, e.v});
+    if (!rel.ok()) {
+      std::cerr << "error: " << rel.status() << "\n";
+      return 1;
+    }
+    std::cout << "  loaded " << e.path << ": " << rel->size() << " tuples\n";
+    instance.relations.push_back(
+        parjoin::Distribute(cluster, std::move(rel).value()));
+  }
+  if (const parjoin::Status valid = instance.ValidateStatus(); !valid.ok()) {
+    std::cerr << "error: " << valid << "\n";
+    return 1;
+  }
+
+  auto exec = parjoin::plan::PlanAndRun(cluster, std::move(instance),
+                                        parjoin::plan::PlannerOptions{},
+                                        exec_options);
   std::cout << "\n" << exec.plan.ToText() << "\n";
   if (dump_json) std::cout << exec.plan.ToJson() << "\n\n";
   parjoin::Relation<S> local = exec.result.ToLocal();
   local.Normalize();
 
-  std::string error;
-  if (!parjoin::SaveRelationCsv(spec.result_path, local, &error)) {
-    std::cerr << "error: " << error << "\n";
+  if (const parjoin::Status saved =
+          parjoin::SaveRelationCsv(spec.result_path, local);
+      !saved.ok()) {
+    std::cerr << "error: " << saved << "\n";
     return 1;
   }
+  const auto& xs = exec.plan.execution_stats;
   std::cout << "Result: " << local.size() << " tuples -> "
             << spec.result_path << "\n"
             << parjoin::plan::PredictedVsMeasuredReport(exec.plan) << "\n"
             << "Cost: planning load " << exec.plan.planning_stats.max_load
             << " (" << exec.plan.planning_stats.rounds << " rounds), "
-            << "execution load " << exec.plan.execution_stats.max_load
-            << " (" << exec.plan.execution_stats.rounds << " rounds), "
-            << exec.plan.execution_stats.total_comm
-            << " tuples moved (p = " << spec.p << ")\n";
+            << "execution load " << xs.max_load << " (" << xs.rounds
+            << " rounds), " << xs.total_comm
+            << " tuples moved, critical path " << xs.critical_path
+            << " (p = " << spec.p << ")\n";
+  if (xs.recovery_comm > 0 || exec.plan.recovery.attempts > 1) {
+    const auto& rec = exec.plan.recovery;
+    std::cout << "Recovery: " << rec.attempts << " attempt(s), "
+              << rec.crashes << " crash(es), " << xs.retransmits
+              << " retransmit(s), " << xs.recovery_comm
+              << " recovery tuples"
+              << (rec.degraded_to_baseline ? ", degraded to baseline" : "")
+              << "\n";
+    for (const std::string& event : rec.events) {
+      std::cout << "  - " << event << "\n";
+    }
+  }
   return 0;
 }
 
-int WriteDemoAndRun(bool dump_json) {
+int WriteDemoAndRun(bool dump_json,
+                    const parjoin::plan::ExecutionOptions& exec_options) {
   const std::string dir = "/tmp/parjoin_demo";
   (void)system(("mkdir -p " + dir).c_str());
   // A 3-chain: suppliers -> parts -> regions.
@@ -155,40 +197,55 @@ int WriteDemoAndRun(bool dump_json) {
          << "output 0 2\n"
          << "result " << dir << "/routes.csv\n";
   }
-  Spec spec;
-  std::string error;
-  if (!ParseSpec(dir + "/query.spec", &spec, &error)) {
-    std::cerr << "error: " << error << "\n";
+  auto spec = ParseSpec(dir + "/query.spec");
+  if (!spec.ok()) {
+    std::cerr << "error: " << spec.status() << "\n";
     return 1;
   }
   std::cout << "Demo spec written to " << dir << "/query.spec\n\n";
-  return RunSpec(spec, dump_json);
+  return RunSpec(*spec, dump_json, exec_options);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool dump_json = false;
+  parjoin::plan::ExecutionOptions exec_options;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
       dump_json = true;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      exec_options.faults.enabled = true;
+      exec_options.faults.seed =
+          std::strtoull(arg.c_str() + 9, nullptr, 10);
+      if (exec_options.checkpoint_interval == 0) {
+        exec_options.checkpoint_interval = 2;
+      }
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      exec_options.checkpoint_interval =
+          static_cast<int>(std::strtol(arg.c_str() + 22, nullptr, 10));
+    } else if (arg.rfind("--load-budget-factor=", 0) == 0) {
+      exec_options.load_budget_factor =
+          std::strtod(arg.c_str() + 21, nullptr);
     } else {
-      args.push_back(argv[i]);
+      args.push_back(arg);
     }
   }
   if (args.size() == 1 && args[0] == "--demo") {
-    return WriteDemoAndRun(dump_json);
+    return WriteDemoAndRun(dump_json, exec_options);
   }
   if (args.size() != 1) {
-    std::cerr << "usage: " << argv[0] << " [--json] <spec-file> | --demo\n";
+    std::cerr << "usage: " << argv[0]
+              << " [--json] [--faults=<seed>] [--checkpoint-interval=<r>]"
+                 " [--load-budget-factor=<f>] <spec-file> | --demo\n";
     return 2;
   }
-  Spec spec;
-  std::string error;
-  if (!ParseSpec(args[0], &spec, &error)) {
-    std::cerr << "error: " << error << "\n";
+  auto spec = ParseSpec(args[0]);
+  if (!spec.ok()) {
+    std::cerr << "error: " << spec.status() << "\n";
     return 1;
   }
-  return RunSpec(spec, dump_json);
+  return RunSpec(*spec, dump_json, exec_options);
 }

@@ -1,0 +1,155 @@
+// Status / StatusOr<T>: the typed error model for recoverable paths.
+//
+// CHECK is the right tool for internal invariants — a violated invariant is
+// a bug and the process should die loudly. It is the wrong tool for data
+// ingress: a malformed CSV, an inconsistent workload config, or a spec file
+// describing a non-tree query are *user* errors and must surface as values
+// the caller can report (query_runner exits non-zero instead of aborting).
+// Status carries a code + message; StatusOr<T> is "a T or the Status
+// explaining why there is no T". No exceptions are involved: errors travel
+// by return value only.
+//
+// Conventions:
+//  * Functions that can fail on external input return Status or StatusOr.
+//  * CHECK_OK(expr) asserts a Status-returning expression succeeded — the
+//    bridge for call sites whose inputs are internally guaranteed valid.
+//  * PARJOIN_RETURN_IF_ERROR / PARJOIN_ASSIGN_OR_RETURN propagate errors
+//    up Status-returning call chains without boilerplate.
+
+#ifndef PARJOIN_COMMON_STATUS_H_
+#define PARJOIN_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "parjoin/common/logging.h"
+
+namespace parjoin {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kDataLoss,
+  kResourceExhausted,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Status& s) {
+    return os << s.ToString();
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status DataLossError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+// A T, or the Status explaining why there is no T. Accessing value() on an
+// error StatusOr is a CHECK failure (an internal bug, not a user error).
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit from an error Status (the common `return InvalidArg...` path).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    CHECK(!status_.ok()) << "StatusOr constructed from OK without a value";
+  }
+  // Implicit from a value.
+  StatusOr(T value)  // NOLINT
+      : status_(), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << "value() on error StatusOr: " << status_;
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << "value() on error StatusOr: " << status_;
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << "value() on error StatusOr: " << status_;
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace parjoin
+
+// Asserts a Status-returning expression succeeded. For call sites whose
+// inputs are internal invariants, not external data.
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    const ::parjoin::Status _parjoin_check_ok_status = (expr);    \
+    CHECK(_parjoin_check_ok_status.ok())                          \
+        << "CHECK_OK(" #expr "): " << _parjoin_check_ok_status;   \
+  } while (0)
+
+#define PARJOIN_RETURN_IF_ERROR(expr)                    \
+  do {                                                   \
+    ::parjoin::Status _parjoin_rie_status = (expr);      \
+    if (!_parjoin_rie_status.ok()) {                     \
+      return _parjoin_rie_status;                        \
+    }                                                    \
+  } while (0)
+
+#define PARJOIN_STATUS_CONCAT_INNER_(a, b) a##b
+#define PARJOIN_STATUS_CONCAT_(a, b) PARJOIN_STATUS_CONCAT_INNER_(a, b)
+
+// PARJOIN_ASSIGN_OR_RETURN(auto x, FooOrError()): on error returns the
+// Status from the enclosing function; on success moves the value into x.
+#define PARJOIN_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  PARJOIN_ASSIGN_OR_RETURN_IMPL_(                                            \
+      PARJOIN_STATUS_CONCAT_(_parjoin_status_or_, __LINE__), lhs, rexpr)
+
+#define PARJOIN_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                   \
+  if (!var.ok()) {                                      \
+    return var.status();                                \
+  }                                                     \
+  lhs = std::move(var).value()
+
+#endif  // PARJOIN_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+// Checkpoint / restore for Dist<T> partitions.
+//
+// The recovery protocol (plan/executor.h) snapshots the distributed inputs
+// at a round boundary before dispatching an algorithm. Taking the snapshot
+// is not free: each partition is replicated to a neighboring server
+// ((v+1) mod parts, so no server holds its own backup), and that
+// replication round is charged as recovery traffic. After a fail-stop
+// crash the executor restores from the snapshot onto the shrunken live set
+// — partition v re-hosted on server v mod p() — which is again a charged
+// round, since the surviving replicas must be shipped to their new hosts.
+
+#ifndef PARJOIN_MPC_CHECKPOINT_H_
+#define PARJOIN_MPC_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/mpc/dist.h"
+
+namespace parjoin {
+namespace mpc {
+
+// A durable copy of a Dist<T>'s partition contents, independent of the
+// cluster's live-server count at restore time.
+template <typename T>
+struct DistSnapshot {
+  std::vector<std::vector<T>> parts;
+};
+
+// Replicates every partition of `d` to its neighbor and returns the
+// snapshot. Charges one recovery round: server (v+1) mod parts receives
+// |part v| tuples.
+template <typename T>
+DistSnapshot<T> CheckpointDist(Cluster& cluster, const Dist<T>& d) {
+  const int n = d.num_parts();
+  DistSnapshot<T> snap;
+  snap.parts.reserve(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> received(static_cast<std::size_t>(std::max(n, 1)),
+                                     0);
+  for (int v = 0; v < n; ++v) {
+    snap.parts.push_back(d.part(v));
+    received[static_cast<std::size_t>((v + 1) % n)] +=
+        static_cast<std::int64_t>(d.part(v).size());
+  }
+  cluster.ChargeRecoveryRound(received);
+  return snap;
+}
+
+// Rebuilds a Dist<T> on the current live servers: snapshot partition v is
+// appended to part v mod p(). Charges one recovery round for shipping the
+// replicas to their (possibly new) hosts.
+template <typename T>
+Dist<T> RestoreDist(Cluster& cluster, const DistSnapshot<T>& snap) {
+  const int live = cluster.p();
+  std::vector<std::vector<T>> parts(static_cast<std::size_t>(live));
+  std::vector<std::int64_t> received(static_cast<std::size_t>(live), 0);
+  for (std::size_t v = 0; v < snap.parts.size(); ++v) {
+    const std::size_t host = v % static_cast<std::size_t>(live);
+    parts[host].insert(parts[host].end(), snap.parts[v].begin(),
+                       snap.parts[v].end());
+    received[host] += static_cast<std::int64_t>(snap.parts[v].size());
+  }
+  cluster.ChargeRecoveryRound(received);
+  return Dist<T>(std::move(parts));
+}
+
+}  // namespace mpc
+}  // namespace parjoin
+
+#endif  // PARJOIN_MPC_CHECKPOINT_H_

@@ -18,16 +18,30 @@
 // host. Since the paper guarantees O(p) virtual servers in total, each
 // physical server hosts O(1) of them and measured loads match the analysis
 // up to the same constant the paper hides.
+//
+// Fault model (mpc/faults.h): when fault injection is enabled, each charged
+// round boundary consults the seeded FaultPlan. Stragglers stretch the
+// round's contribution to stats().critical_path; message corruption is
+// detected by FNV checksums in Exchange and repaired by retransmission
+// (charged as recovery_comm); a fail-stop crash shrinks the live server set
+// and aborts the attempt with RoundAbort so the executor can replay from
+// its last checkpoint (mpc/checkpoint.h, plan/executor.h). A load budget,
+// independent of fault injection, aborts any round whose measured maximum
+// exceeds it — the executor's guardrail against planner mispredictions.
 
 #ifndef PARJOIN_MPC_CLUSTER_H_
 #define PARJOIN_MPC_CLUSTER_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "parjoin/common/checked_math.h"
 #include "parjoin/common/logging.h"
 #include "parjoin/common/random.h"
+#include "parjoin/mpc/faults.h"
 
 namespace parjoin {
 namespace mpc {
@@ -38,17 +52,33 @@ class Cluster {
     int rounds = 0;
     std::int64_t max_load = 0;    // max over rounds and servers
     std::int64_t total_comm = 0;  // total tuples moved
+    // Sum over rounds of round_max × straggle_factor: the simulated
+    // wall-clock of the synchronous schedule. Equals the sum of per-round
+    // maxima when no straggler fires.
+    std::int64_t critical_path = 0;
+    // Tuples moved for resilience rather than the algorithm itself:
+    // checkpoint replication, post-crash restores, and corruption
+    // retransmissions. Included in total_comm as well.
+    std::int64_t recovery_comm = 0;
+    int retransmits = 0;  // corrupted messages detected and re-delivered
+    int crashes = 0;      // fail-stop crashes fired
   };
 
   explicit Cluster(int p, std::uint64_t seed = 0x9a3f7151c2d4e680ULL)
-      : p_(p), rng_(seed) {
+      : p_total_(p), live_(p), rng_(seed),
+        since_ckpt_(static_cast<size_t>(p), 0) {
     CHECK_GT(p, 0);
   }
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  int p() const { return p_; }
+  // The number of *live* servers. Algorithms always address servers
+  // 0..p()-1, so after a crash a replay naturally re-hosts the dead
+  // server's virtual servers on the survivors (v mod (p-1)).
+  int p() const { return live_; }
+  // The configured cluster size, ignoring crashes.
+  int p_total() const { return p_total_; }
 
   // Source of reproducible randomness for hashing decisions inside
   // primitives (hash-partitioning seeds, KMV hash functions, ...).
@@ -56,34 +86,132 @@ class Cluster {
 
   // Records one communication round. received[v] is the number of tuples
   // delivered to *virtual* server v; charges are accumulated on physical
-  // server v mod p. The vector may have any size >= 0.
+  // server v mod p. The vector may have any size >= 0. May throw RoundAbort
+  // (crash / load budget) — main thread only; see faults.h.
   void ChargeRound(const std::vector<std::int64_t>& received) {
-    std::vector<std::int64_t> physical(static_cast<size_t>(p_), 0);
-    std::int64_t moved = 0;
-    for (size_t v = 0; v < received.size(); ++v) {
-      physical[v % static_cast<size_t>(p_)] += received[v];
-      moved += received[v];
-    }
-    std::int64_t round_max = 0;
-    for (std::int64_t r : physical) round_max = std::max(round_max, r);
-    stats_.rounds += 1;
-    stats_.max_load = std::max(stats_.max_load, round_max);
-    stats_.total_comm += moved;
+    ApplyRound(FoldToPhysical(received), /*recovery=*/false);
+  }
+
+  // Records a round of resilience traffic (checkpoint replication or
+  // post-crash restore). Charged into recovery_comm as well as total_comm;
+  // fault events do not fire on recovery rounds.
+  void ChargeRecoveryRound(const std::vector<std::int64_t>& received) {
+    ApplyRound(FoldToPhysical(received), /*recovery=*/true);
   }
 
   // Convenience: charges a round in which every physical server receives
   // `per_server` tuples. Used by primitives whose distributed realization
   // is known linear-load (documented per call site) but simulated centrally.
   void ChargeUniformRound(std::int64_t per_server) {
-    stats_.rounds += 1;
-    stats_.max_load = std::max(stats_.max_load, per_server);
-    stats_.total_comm += per_server * p_;
+    std::vector<std::int64_t> physical(static_cast<size_t>(live_),
+                                       per_server);
+    ApplyRound(physical, /*recovery=*/false);
   }
 
   const Stats& stats() const { return stats_; }
+
+  // Resets accounting for a fresh measurement. Any ParallelRegion guards
+  // still alive (e.g. on the unwind path of an aborted attempt) are
+  // invalidated via the region epoch and become no-ops.
   void ResetStats() {
     stats_ = Stats();
     regions_.clear();
+    ++region_epoch_;
+    charged_rounds_ = 0;
+    rounds_since_ckpt_ = 0;
+    pending_retransmit_comm_ = 0;
+    since_ckpt_.assign(static_cast<size_t>(live_), 0);
+  }
+
+  // --- Fault injection ------------------------------------------------------
+
+  // Generates the deterministic schedule from config.seed and arms it.
+  // Firing state and the fault log start clean. Call after the ResetStats
+  // that precedes the measured run, so scheduled rounds line up.
+  void EnableFaults(const FaultConfig& config) {
+    plan_ = FaultPlan::Generate(config, live_);
+    faults_enabled_ = true;
+    fault_log_.clear();
+  }
+  void DisableFaults() { faults_enabled_ = false; }
+  bool faults_enabled() const { return faults_enabled_; }
+
+  const FaultPlan& fault_plan() const { return plan_; }
+  FaultPlan& fault_plan() { return plan_; }
+  const std::vector<std::string>& fault_log() const { return fault_log_; }
+
+  // Exchange computes per-destination checksums only when this is true.
+  bool ChecksumVerificationEnabled() const { return faults_enabled_; }
+
+  // Called by Exchange with the FNV checksum of each destination's message
+  // before delivery is charged. If a corruption event is due, one
+  // destination's wire checksum arrives XOR-masked; the mismatch is
+  // detected, the corrupted copy discarded, and the retransmitted original
+  // delivered: (*received)[victim] doubles and the repair traffic is folded
+  // into recovery_comm at the next charged round. Returns true iff an event
+  // fired. Outputs are never perturbed — corruption models a detected and
+  // repaired fault, not silent data loss.
+  bool VerifyAndRepairMessages(const std::vector<std::uint64_t>& checksums,
+                               std::vector<std::int64_t>* received) {
+    if (!faults_enabled_) return false;
+    CHECK_EQ(checksums.size(), received->size());
+    for (FaultEvent& e : plan_.events()) {
+      if (e.fired || e.kind != FaultKind::kCorruption) continue;
+      if (e.round > charged_rounds_ + 1) continue;
+      const size_t n = received->size();
+      size_t victim = n;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t idx = (static_cast<size_t>(e.server) + i) % n;
+        if ((*received)[idx] > 0) {
+          victim = idx;
+          break;
+        }
+      }
+      if (victim == n) return false;  // no traffic; event fires later
+      const std::uint64_t wire = checksums[victim] ^ e.corruption_mask;
+      CHECK_NE(wire, checksums[victim]);  // mask is nonzero by construction
+      e.fired = true;
+      e.fired_round = charged_rounds_ + 1;
+      stats_.retransmits += 1;
+      pending_retransmit_comm_ =
+          CheckedAdd(pending_retransmit_comm_, (*received)[victim]);
+      (*received)[victim] = CheckedAdd((*received)[victim],
+                                       (*received)[victim]);
+      fault_log_.push_back(
+          "corruption detected at round " +
+          std::to_string(charged_rounds_ + 1) + ": dest " +
+          std::to_string(victim) + " checksum mismatch (mask " +
+          std::to_string(e.corruption_mask) + "), retransmitted");
+      return true;
+    }
+    return false;
+  }
+
+  // --- Guardrails & checkpointing -------------------------------------------
+
+  // A round whose physical maximum exceeds `budget` throws
+  // RoundAbort{kLoadBudget}. 0 disables. Independent of fault injection.
+  void SetLoadBudget(std::int64_t budget) { load_budget_ = budget; }
+  std::int64_t load_budget() const { return load_budget_; }
+
+  // Every `interval` non-recovery rounds, charges one replication round
+  // that copies each server's traffic since the last checkpoint to its
+  // neighbor ((s+1) mod p): the simulated cost of keeping a warm
+  // checkpoint. 0 disables.
+  void SetCheckpointInterval(int interval) {
+    CHECK_GE(interval, 0);
+    ckpt_interval_ = interval;
+    rounds_since_ckpt_ = 0;
+    since_ckpt_.assign(static_cast<size_t>(live_), 0);
+  }
+  int checkpoint_interval() const { return ckpt_interval_; }
+
+  // Algorithm entry guard: a previous attempt must not leave a parallel
+  // region open (the epoch mechanism makes abandoned guards no-ops, but a
+  // *live* region at dispatch means unbalanced Begin/End — a bug).
+  void CheckQuiescent() const {
+    CHECK(regions_.empty())
+        << "parallel region still open at algorithm entry";
   }
 
   // --- Parallel regions -----------------------------------------------------
@@ -115,6 +243,9 @@ class Cluster {
     stats_.rounds = r.begin_rounds + r.longest_branch;
   }
 
+  // Bumped by ResetStats; ParallelRegion guards from an older epoch no-op.
+  std::uint64_t region_epoch() const { return region_epoch_; }
+
  private:
   struct Region {
     int begin_rounds = 0;
@@ -122,26 +253,179 @@ class Cluster {
     int longest_branch = 0;
   };
 
-  int p_;
+  std::vector<std::int64_t> FoldToPhysical(
+      const std::vector<std::int64_t>& received) const {
+    std::vector<std::int64_t> physical(static_cast<size_t>(live_), 0);
+    for (size_t v = 0; v < received.size(); ++v) {
+      std::int64_t& slot = physical[v % static_cast<size_t>(live_)];
+      slot = CheckedAdd(slot, received[v]);
+    }
+    return physical;
+  }
+
+  // The single round-accounting core. `physical` has size live_.
+  void ApplyRound(const std::vector<std::int64_t>& physical, bool recovery) {
+    ++charged_rounds_;
+    std::int64_t round_max = 0;
+    std::int64_t moved = 0;
+    for (std::int64_t r : physical) {
+      round_max = std::max(round_max, r);
+      moved = CheckedAdd(moved, r);
+    }
+    stats_.rounds += 1;
+    stats_.max_load = std::max(stats_.max_load, round_max);
+    stats_.total_comm = CheckedAdd(stats_.total_comm, moved);
+    if (recovery) {
+      stats_.recovery_comm = CheckedAdd(stats_.recovery_comm, moved);
+    }
+
+    // Straggler: the slowest due delay factor stretches this round's
+    // contribution to the critical path. Recovery rounds never straggle.
+    double factor = 1.0;
+    if (faults_enabled_ && !recovery) {
+      for (FaultEvent& e : plan_.events()) {
+        if (e.fired || e.kind != FaultKind::kStraggler) continue;
+        if (e.round > charged_rounds_) continue;
+        e.fired = true;
+        e.fired_round = charged_rounds_;
+        factor = std::max(factor, e.factor);
+        fault_log_.push_back(
+            "straggler at round " + std::to_string(charged_rounds_) +
+            ": server " + std::to_string(e.server) + " delayed x" +
+            std::to_string(e.factor));
+      }
+    }
+    stats_.critical_path = CheckedAdd(
+        stats_.critical_path,
+        static_cast<std::int64_t>(
+            std::llround(static_cast<double>(round_max) * factor)));
+
+    // Retransmission traffic from VerifyAndRepairMessages is already in
+    // this round's physical counts; book it as recovery traffic here.
+    if (pending_retransmit_comm_ > 0) {
+      stats_.recovery_comm =
+          CheckedAdd(stats_.recovery_comm, pending_retransmit_comm_);
+      pending_retransmit_comm_ = 0;
+    }
+
+    if (!recovery && ckpt_interval_ > 0) {
+      for (size_t s = 0; s < physical.size(); ++s) {
+        since_ckpt_[s] = CheckedAdd(since_ckpt_[s], physical[s]);
+      }
+      if (++rounds_since_ckpt_ >= ckpt_interval_) {
+        ChargeCheckpointReplication();
+      }
+    }
+
+    if (!recovery && load_budget_ > 0 && round_max > load_budget_) {
+      RoundAbort abort;
+      abort.reason = RoundAbort::Reason::kLoadBudget;
+      abort.round = charged_rounds_;
+      abort.round_load = round_max;
+      abort.budget = load_budget_;
+      fault_log_.push_back("budget abort: " + abort.ToString());
+      throw abort;
+    }
+
+    if (faults_enabled_ && !recovery && live_ > 1) {
+      for (FaultEvent& e : plan_.events()) {
+        if (e.fired || e.kind != FaultKind::kCrash) continue;
+        if (e.round > charged_rounds_) continue;
+        e.fired = true;
+        e.fired_round = charged_rounds_;
+        stats_.crashes += 1;
+        const int victim = e.server % live_;
+        live_ -= 1;
+        FoldSinceCheckpoint();
+        RoundAbort abort;
+        abort.reason = RoundAbort::Reason::kServerCrash;
+        abort.round = charged_rounds_;
+        abort.server = victim;
+        abort.round_load = round_max;
+        fault_log_.push_back("crash: " + abort.ToString() + ", " +
+                             std::to_string(live_) + " servers remain");
+        throw abort;
+      }
+    }
+  }
+
+  // Charges the rotated replication round directly (no recursion through
+  // ApplyRound: replication cannot itself straggle, crash, or re-trigger a
+  // checkpoint).
+  void ChargeCheckpointReplication() {
+    std::int64_t rep_max = 0;
+    std::int64_t rep_moved = 0;
+    for (std::int64_t c : since_ckpt_) {
+      rep_max = std::max(rep_max, c);
+      rep_moved = CheckedAdd(rep_moved, c);
+    }
+    ++charged_rounds_;
+    stats_.rounds += 1;
+    stats_.max_load = std::max(stats_.max_load, rep_max);
+    stats_.total_comm = CheckedAdd(stats_.total_comm, rep_moved);
+    stats_.recovery_comm = CheckedAdd(stats_.recovery_comm, rep_moved);
+    stats_.critical_path = CheckedAdd(stats_.critical_path, rep_max);
+    std::fill(since_ckpt_.begin(), since_ckpt_.end(), 0);
+    rounds_since_ckpt_ = 0;
+  }
+
+  // After a crash, traffic accumulated toward the next checkpoint follows
+  // the same v mod p re-hosting as the virtual servers themselves.
+  void FoldSinceCheckpoint() {
+    std::vector<std::int64_t> folded(static_cast<size_t>(live_), 0);
+    for (size_t s = 0; s < since_ckpt_.size(); ++s) {
+      std::int64_t& slot = folded[s % static_cast<size_t>(live_)];
+      slot = CheckedAdd(slot, since_ckpt_[s]);
+    }
+    since_ckpt_ = std::move(folded);
+  }
+
+  int p_total_;
+  int live_;
   Rng rng_;
   Stats stats_;
   std::vector<Region> regions_;
+  std::uint64_t region_epoch_ = 0;
+
+  // Monotone count of charged rounds since ResetStats. Fault schedules key
+  // off this, not stats_.rounds, which EndParallelRegion rewrites downward.
+  int charged_rounds_ = 0;
+
+  bool faults_enabled_ = false;
+  FaultPlan plan_;
+  std::vector<std::string> fault_log_;
+
+  std::int64_t load_budget_ = 0;
+  int ckpt_interval_ = 0;
+  int rounds_since_ckpt_ = 0;
+  std::vector<std::int64_t> since_ckpt_;
+  std::int64_t pending_retransmit_comm_ = 0;
 };
 
 // RAII guard for a parallel region; call NextBranch() before each branch.
+// Abort-safe: if the cluster is reset while the guard is alive (the retry
+// path after a RoundAbort unwound through an algorithm), the guard's epoch
+// goes stale and its remaining operations become no-ops instead of
+// corrupting the fresh region stack.
 class ParallelRegion {
  public:
-  explicit ParallelRegion(Cluster& cluster) : cluster_(cluster) {
+  explicit ParallelRegion(Cluster& cluster)
+      : cluster_(cluster), epoch_(cluster.region_epoch()) {
     cluster_.BeginParallelRegion();
   }
-  ~ParallelRegion() { cluster_.EndParallelRegion(); }
+  ~ParallelRegion() {
+    if (epoch_ == cluster_.region_epoch()) cluster_.EndParallelRegion();
+  }
   ParallelRegion(const ParallelRegion&) = delete;
   ParallelRegion& operator=(const ParallelRegion&) = delete;
 
-  void NextBranch() { cluster_.BeginParallelBranch(); }
+  void NextBranch() {
+    if (epoch_ == cluster_.region_epoch()) cluster_.BeginParallelBranch();
+  }
 
  private:
   Cluster& cluster_;
+  std::uint64_t epoch_;
 };
 
 }  // namespace mpc

@@ -48,6 +48,24 @@ inline bool UseThreadedRoute(std::int64_t total_items, int num_src,
          static_cast<std::int64_t>(num_src) * num_dest <= kMaxBucketMatrix;
 }
 
+// Verifies the delivered messages against their FNV checksums (fault
+// injection may corrupt one in flight; detection triggers a charged
+// retransmission — see Cluster::VerifyAndRepairMessages), then charges the
+// round. Checksums are computed only when verification is armed, so the
+// fault-free path pays nothing. Runs on the main thread after delivery.
+template <typename T>
+void VerifyAndCharge(Cluster& cluster, const Dist<T>& out,
+                     std::vector<std::int64_t>& received) {
+  if (cluster.ChecksumVerificationEnabled()) {
+    std::vector<std::uint64_t> checksums(received.size(), 0);
+    for (int d = 0; d < out.num_parts(); ++d) {
+      checksums[static_cast<std::size_t>(d)] = MessageChecksum(out.part(d));
+    }
+    cluster.VerifyAndRepairMessages(checksums, &received);
+  }
+  cluster.ChargeRound(received);
+}
+
 // Concatenates buckets[s][d] over s (source order) into out->part(d) for
 // every destination d, in parallel over destinations; fills received[d].
 template <typename T>
@@ -92,7 +110,7 @@ Dist<T> Exchange(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
         received[static_cast<size_t>(dest)] += 1;
       }
     }
-    cluster.ChargeRound(received);
+    internal_exchange::VerifyAndCharge(cluster, out, received);
     return out;
   }
 
@@ -111,7 +129,7 @@ Dist<T> Exchange(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
   });
   // Phase 2: every destination concatenates its buckets in source order.
   internal_exchange::DeliverBuckets(&buckets, &out, &received);
-  cluster.ChargeRound(received);
+  internal_exchange::VerifyAndCharge(cluster, out, received);
   return out;
 }
 
@@ -141,7 +159,7 @@ Dist<T> ExchangeMulti(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
         }
       }
     }
-    cluster.ChargeRound(received);
+    internal_exchange::VerifyAndCharge(cluster, out, received);
     return out;
   }
 
@@ -162,7 +180,7 @@ Dist<T> ExchangeMulti(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
     }
   });
   internal_exchange::DeliverBuckets(&buckets, &out, &received);
-  cluster.ChargeRound(received);
+  internal_exchange::VerifyAndCharge(cluster, out, received);
   return out;
 }
 

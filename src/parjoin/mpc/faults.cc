@@ -1,0 +1,82 @@
+#include "parjoin/mpc/faults.h"
+
+#include <sstream>
+
+#include "parjoin/common/random.h"
+
+namespace parjoin {
+namespace mpc {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kCorruption:
+      return "corruption";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Generate(const FaultConfig& config, int p) {
+  CHECK_GT(p, 0);
+  CHECK_GE(config.horizon, 1);
+  CHECK_LE(config.straggle_min, config.straggle_max);
+  FaultPlan plan;
+  Rng rng(config.seed);
+  for (int i = 0; i < config.crashes; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCrash;
+    e.round = static_cast<int>(rng.Uniform(1, config.horizon));
+    e.server = static_cast<int>(rng.Uniform(0, p - 1));
+    plan.events_.push_back(e);
+  }
+  for (int i = 0; i < config.stragglers; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kStraggler;
+    e.round = static_cast<int>(rng.Uniform(1, config.horizon));
+    e.server = static_cast<int>(rng.Uniform(0, p - 1));
+    e.factor = config.straggle_min +
+               rng.UniformDouble() * (config.straggle_max -
+                                      config.straggle_min);
+    plan.events_.push_back(e);
+  }
+  for (int i = 0; i < config.corruptions; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCorruption;
+    e.round = static_cast<int>(rng.Uniform(1, config.horizon));
+    e.server = static_cast<int>(rng.Uniform(0, p - 1));
+    e.corruption_mask = rng.Next() | 1;  // nonzero: the flip is detectable
+    plan.events_.push_back(e);
+  }
+  return plan;
+}
+
+std::string FaultPlan::ScheduleString() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events_) {
+    os << FaultKindName(e.kind) << " round>=" << e.round << " server="
+       << e.server;
+    if (e.kind == FaultKind::kStraggler) os << " factor=" << e.factor;
+    if (e.kind == FaultKind::kCorruption) {
+      os << " mask=" << e.corruption_mask;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string RoundAbort::ToString() const {
+  std::ostringstream os;
+  if (reason == Reason::kServerCrash) {
+    os << "server " << server << " crashed at round " << round;
+  } else {
+    os << "round " << round << " load " << round_load
+       << " exceeded budget " << budget;
+  }
+  return os.str();
+}
+
+}  // namespace mpc
+}  // namespace parjoin

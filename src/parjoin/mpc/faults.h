@@ -1,0 +1,166 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan is a seeded schedule of three fault kinds, all expressed in
+// terms of *charged rounds* (the monotone count of ChargeRound boundaries
+// since the last ResetStats):
+//
+//  * fail-stop crash    — at the first round boundary at or after the
+//                         scheduled round, one server leaves; the Cluster
+//                         shrinks its live set and aborts the attempt
+//                         (RoundAbort) so the executor replays from the
+//                         last checkpoint on p-1 servers.
+//  * straggler          — the scheduled round's wall-clock is stretched by
+//                         a delay factor; the simulator folds it into the
+//                         Stats::critical_path metric (Σ round_max × factor)
+//                         without perturbing loads or outputs.
+//  * message corruption — at the first Exchange at or after the scheduled
+//                         round, one destination's message arrives with a
+//                         nonzero XOR mask applied to its FNV-1a checksum.
+//                         The receiver detects the mismatch, discards the
+//                         corrupted copy, and the retransmitted original is
+//                         delivered — outputs are unaffected, but the
+//                         repair doubles that destination's received count
+//                         and the extra traffic is charged as recovery
+//                         communication.
+//
+// Same (cluster seed, fault seed) ⇒ same schedule ⇒ same recovery path:
+// the fault machinery draws exclusively from FaultConfig::seed, so faulted
+// runs are exactly as reproducible as fault-free ones.
+
+#ifndef PARJOIN_MPC_FAULTS_H_
+#define PARJOIN_MPC_FAULTS_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "parjoin/common/logging.h"
+
+namespace parjoin {
+namespace mpc {
+
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  // How many events of each kind the plan schedules.
+  int crashes = 1;
+  int stragglers = 1;
+  int corruptions = 1;
+  // Events are scheduled on charged rounds [1, horizon]. Events whose
+  // scheduled round has passed fire at the next eligible boundary, so a
+  // small horizon guarantees every event fires even on short algorithms.
+  int horizon = 4;
+  // Straggler delay factors are drawn uniformly from [straggle_min,
+  // straggle_max] (integer units of the round's maximum load).
+  double straggle_min = 2.0;
+  double straggle_max = 8.0;
+};
+
+enum class FaultKind { kCrash, kStraggler, kCorruption };
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int round = 1;   // earliest charged round (1-based) at which it may fire
+  int server = 0;  // crash victim / straggler id / corruption dest salt
+  double factor = 1.0;                // straggler delay factor
+  std::uint64_t corruption_mask = 0;  // nonzero bit flips (corruption only)
+  bool fired = false;
+  int fired_round = -1;  // charged round at which it actually fired
+};
+
+// The seeded schedule. Generation is a pure function of (config, p): two
+// plans from the same inputs are identical, which the schedule-determinism
+// tests assert via ScheduleString().
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  static FaultPlan Generate(const FaultConfig& config, int p);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::vector<FaultEvent>& events() { return events_; }
+
+  // One line per scheduled event, deterministic (firing state excluded).
+  std::string ScheduleString() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Thrown by Cluster at a round boundary when a fail-stop crash fires or a
+// load budget is exceeded. This is simulation-internal control flow: it is
+// always thrown on the main thread (never from ParallelFor workers) and
+// never escapes plan::PlanAndRun's recovery loop — the public error model
+// stays exception-free (common/status.h).
+struct RoundAbort {
+  enum class Reason { kServerCrash, kLoadBudget };
+
+  Reason reason = Reason::kServerCrash;
+  int round = 0;               // charged round of the abort
+  int server = -1;             // crashed server (kServerCrash)
+  std::int64_t round_load = 0; // the round's max physical load
+  std::int64_t budget = 0;     // exceeded budget (kLoadBudget)
+
+  std::string ToString() const;
+};
+
+// --- FNV-1a message checksums ------------------------------------------------
+
+namespace internal_faults {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t FnvMixWord(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Items opt into content hashing by providing an ADL-visible
+// FaultContentHash(item) (Tuple<S> does, in relation/relation.h).
+template <typename T>
+concept HasFaultContentHash = requires(const T& item) {
+  { FaultContentHash(item) } -> std::convertible_to<std::uint64_t>;
+};
+
+}  // namespace internal_faults
+
+// FNV-1a checksum of one delivered message (the vector of items bound for
+// one destination). Content-hashed when the item type provides
+// FaultContentHash or has unique object representations (no padding —
+// padding bytes would be nondeterministic); otherwise falls back to a
+// length-only checksum, still enough to exercise the detection path.
+template <typename T>
+std::uint64_t MessageChecksum(const std::vector<T>& message) {
+  using internal_faults::FnvMixWord;
+  using internal_faults::kFnvPrime;
+  std::uint64_t h = internal_faults::kFnvOffset;
+  h = FnvMixWord(h, static_cast<std::uint64_t>(message.size()));
+  for (const T& item : message) {
+    if constexpr (internal_faults::HasFaultContentHash<T>) {
+      h = FnvMixWord(h, FaultContentHash(item));
+    } else if constexpr (std::has_unique_object_representations_v<T>) {
+      const unsigned char* bytes =
+          reinterpret_cast<const unsigned char*>(&item);
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        h ^= bytes[i];
+        h *= kFnvPrime;
+      }
+    } else {
+      h = FnvMixWord(h, 0x9e3779b97f4a7c15ULL);
+    }
+  }
+  return h;
+}
+
+}  // namespace mpc
+}  // namespace parjoin
+
+#endif  // PARJOIN_MPC_FAULTS_H_

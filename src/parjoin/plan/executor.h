@@ -7,12 +7,23 @@
 // The cluster's stats are phased: planning (the estimation rounds) and
 // execution (the chosen algorithm) are recorded separately in the plan;
 // after the call the cluster's live stats hold the execution phase only.
+//
+// Fault tolerance: with a non-default ExecutionOptions, execution runs
+// through ExecuteWithRecovery — inputs are checkpointed (charged), the
+// chosen algorithm runs under the configured fault plan / load budget, and
+// RoundAbort unwinds back here for replay from the checkpoint (crash) or
+// degradation onto the Yannakakis baseline (budget). The recovery trail is
+// reported in plan.recovery; all resilience traffic lands in
+// execution_stats.recovery_comm.
 
 #ifndef PARJOIN_PLAN_EXECUTOR_H_
 #define PARJOIN_PLAN_EXECUTOR_H_
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "parjoin/algorithms/hypercube.h"
 #include "parjoin/algorithms/line_query.h"
@@ -21,11 +32,29 @@
 #include "parjoin/algorithms/starlike_query.h"
 #include "parjoin/algorithms/tree_query.h"
 #include "parjoin/algorithms/yannakakis.h"
+#include "parjoin/mpc/checkpoint.h"
+#include "parjoin/mpc/faults.h"
 #include "parjoin/plan/planner.h"
 #include "parjoin/relation/ops.h"
 
 namespace parjoin {
 namespace plan {
+
+// Resilience knobs for ExecuteWithRecovery / PlanAndRun. All off by
+// default: the default-constructed options run the fast path with zero
+// overhead (no checkpoints, no checksums, no budget).
+struct ExecutionOptions {
+  mpc::FaultConfig faults;      // injection schedule (faults.enabled arms it)
+  int checkpoint_interval = 0;  // rounds between replication rounds; 0 = off
+  // Abort any round whose load exceeds factor × predicted_load and degrade
+  // onto the Yannakakis baseline. 0 = off.
+  double load_budget_factor = 0;
+  int max_attempts = 8;  // dispatch attempts before giving up (CHECK)
+  // Simulated exponential backoff before each crash replay, in rounds:
+  // base, 2·base, ... capped at backoff_cap. Recorded, never slept.
+  std::int64_t backoff_base = 1;
+  std::int64_t backoff_cap = 16;
+};
 
 // One-line "chosen X: predicted N, measured M (ratio R)" summary of an
 // executed plan, for examples and bench logs.
@@ -36,6 +65,7 @@ std::string PredictedVsMeasuredReport(const PhysicalPlan& plan);
 template <SemiringC S>
 DistRelation<S> DispatchAlgorithm(mpc::Cluster& cluster, Algorithm a,
                                   TreeInstance<S> instance) {
+  cluster.CheckQuiescent();
   switch (a) {
     case Algorithm::kSingleRelation:
       CHECK_EQ(instance.query.num_edges(), 1);
@@ -74,27 +104,130 @@ struct PlanExecution {
   DistRelation<S> result;
 };
 
-// Plans the instance, runs the chosen algorithm, and fills the plan's
-// measured side (measured_load, out_actual, planning/execution stats, and
-// the chosen candidate's measured_load).
+// Runs plan->chosen under the resilience protocol and fills
+// plan->executed / plan->recovery. Expects the cluster's stats freshly
+// reset (charges land in the execution phase).
+//
+// Protocol: the distributed inputs are checkpointed (one charged
+// replication round per relation) and the cluster rng is snapshotted, so a
+// replay re-draws exactly the hash seeds of the aborted attempt. Then the
+// algorithm is dispatched under the armed fault plan and load budget.
+//  * RoundAbort{kServerCrash}: the cluster has already shrunk to p-1 live
+//    servers; simulated backoff is recorded, the rng is rewound, the
+//    inputs are restored from the checkpoint onto the survivors (charged),
+//    and the attempt repeats. Stats accumulate across attempts — recovery
+//    is not free and the ledger says so.
+//  * RoundAbort{kLoadBudget}: the planner's prediction was exceeded by the
+//    configured factor; the run degrades onto the Yannakakis baseline
+//    (which has no candidate-specific tuning to mispredict) and continues
+//    unbudgeted. Single-edge queries re-run their only algorithm instead.
+template <SemiringC S>
+DistRelation<S> ExecuteWithRecovery(mpc::Cluster& cluster,
+                                    TreeInstance<S> instance,
+                                    const ExecutionOptions& options,
+                                    PhysicalPlan* plan) {
+  plan->executed = plan->chosen;
+  const bool resilient = options.faults.enabled ||
+                         options.checkpoint_interval > 0 ||
+                         options.load_budget_factor > 0;
+  if (!resilient) {
+    return DispatchAlgorithm(cluster, plan->chosen, std::move(instance));
+  }
+
+  cluster.SetCheckpointInterval(options.checkpoint_interval);
+  const JoinTree query = instance.query;
+  std::vector<Schema> schemas;
+  std::vector<mpc::DistSnapshot<Tuple<S>>> snapshots;
+  schemas.reserve(instance.relations.size());
+  snapshots.reserve(instance.relations.size());
+  for (const auto& rel : instance.relations) {
+    schemas.push_back(rel.schema);
+    snapshots.push_back(mpc::CheckpointDist(cluster, rel.data));
+  }
+  const Rng rng_snapshot = cluster.rng();
+  if (options.faults.enabled) cluster.EnableFaults(options.faults);
+  if (options.load_budget_factor > 0 && plan->predicted_load > 0) {
+    cluster.SetLoadBudget(static_cast<std::int64_t>(
+        std::llround(options.load_budget_factor * plan->predicted_load)));
+  }
+
+  RecoveryReport& report = plan->recovery;
+  Algorithm algo = plan->chosen;
+  std::int64_t backoff = options.backoff_base;
+  for (int attempt = 1;; ++attempt) {
+    CHECK_LE(attempt, options.max_attempts)
+        << "recovery attempts exhausted for " << AlgorithmName(algo);
+    try {
+      DistRelation<S> result;
+      if (attempt == 1 && algo == plan->chosen) {
+        result = DispatchAlgorithm(cluster, algo, std::move(instance));
+      } else {
+        TreeInstance<S> replay{query, {}};
+        replay.relations.reserve(snapshots.size());
+        for (std::size_t i = 0; i < snapshots.size(); ++i) {
+          replay.relations.push_back(DistRelation<S>{
+              schemas[i], mpc::RestoreDist(cluster, snapshots[i])});
+        }
+        result = DispatchAlgorithm(cluster, algo, std::move(replay));
+      }
+      cluster.SetLoadBudget(0);
+      cluster.SetCheckpointInterval(0);
+      cluster.DisableFaults();
+      report.attempts = attempt;
+      report.crashes = cluster.stats().crashes;
+      report.events = cluster.fault_log();
+      plan->executed = algo;
+      return result;
+    } catch (const mpc::RoundAbort& abort) {
+      if (abort.reason == mpc::RoundAbort::Reason::kLoadBudget) {
+        report.budget_aborts += 1;
+        // The budget fired once; whatever we fall back to runs unbudgeted
+        // (degrading again has nowhere to go).
+        cluster.SetLoadBudget(0);
+        if (algo != Algorithm::kYannakakis &&
+            plan->shape != QueryShape::kSingleEdge) {
+          algo = Algorithm::kYannakakis;
+          report.degraded_to_baseline = true;
+        }
+      } else {
+        report.backoff_total += backoff;
+        backoff = std::min(options.backoff_cap, backoff * 2);
+      }
+      cluster.rng() = rng_snapshot;
+    }
+  }
+}
+
+// Plans the instance, runs the chosen algorithm under the resilience
+// options, and fills the plan's measured side (measured_load, out_actual,
+// planning/execution stats, recovery report, and the executed candidate's
+// measured_load).
 template <SemiringC S>
 PlanExecution<S> PlanAndRun(mpc::Cluster& cluster, TreeInstance<S> instance,
-                            const PlannerOptions& options = {}) {
+                            const PlannerOptions& options,
+                            const ExecutionOptions& exec_options) {
   cluster.ResetStats();
   PlanExecution<S> exec;
   exec.plan = PlanQuery(cluster, instance, options);
   exec.plan.planning_stats = cluster.stats();
 
   cluster.ResetStats();
-  exec.result =
-      DispatchAlgorithm(cluster, exec.plan.chosen, std::move(instance));
+  exec.result = ExecuteWithRecovery(cluster, std::move(instance),
+                                    exec_options, &exec.plan);
   exec.plan.execution_stats = cluster.stats();
   exec.plan.measured_load = exec.plan.execution_stats.max_load;
   exec.plan.out_actual = exec.result.TotalSize();
-  if (Candidate* c = exec.plan.MutableCandidateFor(exec.plan.chosen)) {
+  if (Candidate* c = exec.plan.MutableCandidateFor(exec.plan.executed)) {
     c->measured_load = exec.plan.measured_load;
   }
   return exec;
+}
+
+template <SemiringC S>
+PlanExecution<S> PlanAndRun(mpc::Cluster& cluster, TreeInstance<S> instance,
+                            const PlannerOptions& options = {}) {
+  return PlanAndRun(cluster, std::move(instance), options,
+                    ExecutionOptions{});
 }
 
 // Runs EVERY candidate on (copies of) the instance and fills each

@@ -71,6 +71,21 @@ struct Candidate {
   std::int64_t measured_load = -1;
 };
 
+// What the recovery loop did to get the result (plan/executor.h). Attempts
+// count dispatches of the algorithm: 1 means the first try succeeded.
+struct RecoveryReport {
+  int attempts = 1;
+  int crashes = 0;
+  int budget_aborts = 0;
+  // True when the load-budget guardrail abandoned the chosen algorithm and
+  // the run finished on the Yannakakis baseline.
+  bool degraded_to_baseline = false;
+  // Simulated backoff charged before replays (units of rounds; recorded,
+  // never slept).
+  std::int64_t backoff_total = 0;
+  std::vector<std::string> events;  // cluster fault log, in firing order
+};
+
 struct PhysicalPlan {
   QueryShape shape = QueryShape::kTree;
   std::string query_debug;  // JoinTree::DebugString()
@@ -85,6 +100,10 @@ struct PhysicalPlan {
   std::int64_t out_actual = -1;     // result size
   mpc::Cluster::Stats planning_stats;   // cost of the estimation rounds
   mpc::Cluster::Stats execution_stats;  // cost of the chosen algorithm
+  // The algorithm that actually produced the result: `chosen` unless the
+  // load-budget guardrail degraded the run onto the baseline.
+  Algorithm executed = Algorithm::kYannakakis;
+  RecoveryReport recovery;
 
   // nullptr when `a` is not a candidate for this shape.
   const Candidate* CandidateFor(Algorithm a) const;

@@ -51,6 +51,9 @@ void AppendStats(const char* key, const mpc::Cluster::Stats& s,
                  std::ostringstream& os) {
   os << '"' << key << "\":{\"rounds\":" << s.rounds
      << ",\"max_load\":" << s.max_load << ",\"total_comm\":" << s.total_comm
+     << ",\"critical_path\":" << s.critical_path
+     << ",\"recovery_comm\":" << s.recovery_comm
+     << ",\"retransmits\":" << s.retransmits << ",\"crashes\":" << s.crashes
      << '}';
 }
 
@@ -128,6 +131,25 @@ std::string PhysicalPlan::ToText() const {
     }
     os << "\n";
   }
+  if (executed != chosen || recovery.attempts > 1 ||
+      recovery.crashes > 0 || recovery.budget_aborts > 0 ||
+      execution_stats.retransmits > 0) {
+    os << "recovery: executed " << AlgorithmName(executed) << " in "
+       << recovery.attempts << " attempt(s), " << recovery.crashes
+       << " crash(es), " << recovery.budget_aborts << " budget abort(s), "
+       << execution_stats.retransmits << " retransmit(s)";
+    if (recovery.degraded_to_baseline) os << ", degraded to baseline";
+    if (recovery.backoff_total > 0) {
+      os << ", backoff " << recovery.backoff_total << " round(s)";
+    }
+    os << "\n"
+       << "recovery comm: " << execution_stats.recovery_comm
+       << " tuple(s), critical path " << execution_stats.critical_path
+       << "\n";
+    for (const std::string& e : recovery.events) {
+      os << "  - " << e << "\n";
+    }
+  }
   if (!structure.empty()) os << "--- structure ---\n" << structure;
   return os.str();
 }
@@ -156,13 +178,24 @@ std::string PhysicalPlan::ToJson() const {
        << "\",\"measured_load\":" << c.measured_load << '}';
   }
   os << "],\"chosen\":\"" << AlgorithmName(chosen)
+     << "\",\"executed\":\"" << AlgorithmName(executed)
      << "\",\"predicted_load\":" << JsonDouble(predicted_load)
      << ",\"measured_load\":" << measured_load
      << ",\"out_actual\":" << out_actual << ',';
   AppendStats("planning", planning_stats, os);
   os << ',';
   AppendStats("execution", execution_stats, os);
-  os << '}';
+  os << ",\"recovery\":{\"attempts\":" << recovery.attempts
+     << ",\"crashes\":" << recovery.crashes
+     << ",\"budget_aborts\":" << recovery.budget_aborts
+     << ",\"degraded_to_baseline\":"
+     << (recovery.degraded_to_baseline ? "true" : "false")
+     << ",\"backoff_total\":" << recovery.backoff_total << ",\"events\":[";
+  for (size_t i = 0; i < recovery.events.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << JsonEscape(recovery.events[i]) << '"';
+  }
+  os << "]}}";
   return os.str();
 }
 

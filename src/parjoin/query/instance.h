@@ -4,10 +4,12 @@
 #ifndef PARJOIN_QUERY_INSTANCE_H_
 #define PARJOIN_QUERY_INSTANCE_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "parjoin/common/logging.h"
+#include "parjoin/common/status.h"
 #include "parjoin/query/join_tree.h"
 #include "parjoin/relation/relation.h"
 
@@ -26,18 +28,32 @@ struct TreeInstance {
     return n;
   }
 
-  void Validate() const {
-    CHECK_EQ(static_cast<int>(relations.size()), query.num_edges());
+  // Instance/query consistency as a reportable error: instances built from
+  // external input (spec files) should surface a Status, not abort.
+  Status ValidateStatus() const {
+    if (static_cast<int>(relations.size()) != query.num_edges()) {
+      return InvalidArgumentError(
+          "instance has " + std::to_string(relations.size()) +
+          " relations for " + std::to_string(query.num_edges()) + " edges");
+    }
     for (int i = 0; i < query.num_edges(); ++i) {
       const auto& schema = relations[static_cast<size_t>(i)].schema;
-      CHECK_EQ(schema.size(), 2);
+      if (schema.size() != 2) {
+        return InvalidArgumentError("relation " + std::to_string(i) +
+                                    " is not binary");
+      }
       const QueryEdge& e = query.edge(i);
-      CHECK(schema.Contains(e.u))
-          << "relation " << i << " missing attribute " << e.u;
-      CHECK(schema.Contains(e.v))
-          << "relation " << i << " missing attribute " << e.v;
+      if (!schema.Contains(e.u) || !schema.Contains(e.v)) {
+        return InvalidArgumentError(
+            "relation " + std::to_string(i) + " schema does not cover edge {" +
+            std::to_string(e.u) + ", " + std::to_string(e.v) + "}");
+      }
     }
+    return OkStatus();
   }
+
+  // CHECK-flavored wrapper for internally constructed instances.
+  void Validate() const { CHECK_OK(ValidateStatus()); }
 };
 
 }  // namespace parjoin

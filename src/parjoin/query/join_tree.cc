@@ -1,6 +1,7 @@
 #include "parjoin/query/join_tree.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -26,22 +27,73 @@ const char* QueryShapeName(QueryShape shape) {
   return "unknown";
 }
 
+Status JoinTree::ValidateQuery(const std::vector<QueryEdge>& edges,
+                               const std::vector<AttrId>& output_attrs) {
+  if (edges.empty()) {
+    return InvalidArgumentError("query must have at least one relation");
+  }
+  std::set<AttrId> attr_set;
+  for (const QueryEdge& e : edges) {
+    if (e.u == e.v) {
+      return InvalidArgumentError(
+          "self-loop edges are not part of the query class (attribute " +
+          std::to_string(e.u) + ")");
+    }
+    attr_set.insert(e.u);
+    attr_set.insert(e.v);
+  }
+
+  // The hypergraph must be a tree: |E| = |V| - 1 and connected.
+  if (edges.size() != attr_set.size() - 1) {
+    return InvalidArgumentError(
+        "edge/vertex count mismatch: not a tree (" +
+        std::to_string(edges.size()) + " edges over " +
+        std::to_string(attr_set.size()) + " attributes)");
+  }
+  std::map<AttrId, std::vector<AttrId>> adjacent;
+  for (const QueryEdge& e : edges) {
+    adjacent[e.u].push_back(e.v);
+    adjacent[e.v].push_back(e.u);
+  }
+  std::set<AttrId> seen = {*attr_set.begin()};
+  std::vector<AttrId> frontier = {*attr_set.begin()};
+  while (!frontier.empty()) {
+    const AttrId a = frontier.back();
+    frontier.pop_back();
+    for (AttrId b : adjacent[a]) {
+      if (seen.insert(b).second) frontier.push_back(b);
+    }
+  }
+  if (seen.size() != attr_set.size()) {
+    return InvalidArgumentError("query hypergraph is disconnected");
+  }
+
+  for (AttrId y : output_attrs) {
+    if (attr_set.find(y) == attr_set.end()) {
+      return InvalidArgumentError("output attribute " + std::to_string(y) +
+                                  " not in query");
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<JoinTree> JoinTree::Create(std::vector<QueryEdge> edges,
+                                    std::vector<AttrId> output_attrs) {
+  PARJOIN_RETURN_IF_ERROR(ValidateQuery(edges, output_attrs));
+  return JoinTree(std::move(edges), std::move(output_attrs));
+}
+
 JoinTree::JoinTree(std::vector<QueryEdge> edges,
                    std::vector<AttrId> output_attrs)
     : edges_(std::move(edges)), output_attrs_(std::move(output_attrs)) {
-  CHECK(!edges_.empty()) << "query must have at least one relation";
+  CHECK_OK(ValidateQuery(edges_, output_attrs_));
 
   std::set<AttrId> attr_set;
   for (const QueryEdge& e : edges_) {
-    CHECK_NE(e.u, e.v) << "self-loop edges are not part of the query class";
     attr_set.insert(e.u);
     attr_set.insert(e.v);
   }
   attrs_.assign(attr_set.begin(), attr_set.end());
-
-  // The hypergraph must be a tree: |E| = |V| - 1 and connected.
-  CHECK_EQ(edges_.size(), attrs_.size() - 1)
-      << "edge/vertex count mismatch: not a tree";
 
   incident_.assign(attrs_.size(), {});
   for (int i = 0; i < num_edges(); ++i) {
@@ -51,33 +103,10 @@ JoinTree::JoinTree(std::vector<QueryEdge> edges,
         .push_back(i);
   }
 
-  // Connectivity check by BFS over attributes.
-  std::vector<bool> seen(attrs_.size(), false);
-  std::vector<AttrId> frontier = {attrs_[0]};
-  seen[0] = true;
-  size_t visited = 1;
-  while (!frontier.empty()) {
-    AttrId a = frontier.back();
-    frontier.pop_back();
-    for (int ei : IncidentEdges(a)) {
-      const AttrId b = edges_[static_cast<size_t>(ei)].Other(a);
-      const int bi = AttrIndex(b);
-      if (!seen[static_cast<size_t>(bi)]) {
-        seen[static_cast<size_t>(bi)] = true;
-        ++visited;
-        frontier.push_back(b);
-      }
-    }
-  }
-  CHECK_EQ(visited, attrs_.size()) << "query hypergraph is disconnected";
-
   std::sort(output_attrs_.begin(), output_attrs_.end());
   output_attrs_.erase(
       std::unique(output_attrs_.begin(), output_attrs_.end()),
       output_attrs_.end());
-  for (AttrId y : output_attrs_) {
-    CHECK_GE(AttrIndex(y), 0) << "output attribute " << y << " not in query";
-  }
 }
 
 int JoinTree::AttrIndex(AttrId a) const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "parjoin/common/logging.h"
+#include "parjoin/common/status.h"
 #include "parjoin/relation/schema.h"
 
 namespace parjoin {
@@ -51,9 +52,21 @@ const char* QueryShapeName(QueryShape shape);
 
 class JoinTree {
  public:
-  // Builds and validates a query. Aborts (CHECK) if the edges do not form
-  // a tree over the mentioned attributes or y mentions unknown attributes.
+  // Builds and validates a query. Aborts (CHECK) if ValidateQuery fails —
+  // for programmatically constructed queries whose validity is an internal
+  // invariant. Queries built from external input (spec files, workload
+  // configs) should go through Create() and handle the Status.
   JoinTree(std::vector<QueryEdge> edges, std::vector<AttrId> output_attrs);
+
+  // Checks that the edges form a tree over the mentioned attributes (no
+  // self-loops, |E| = |V| - 1, connected) and that every output attribute
+  // occurs in some edge. InvalidArgument otherwise.
+  static Status ValidateQuery(const std::vector<QueryEdge>& edges,
+                              const std::vector<AttrId>& output_attrs);
+
+  // Validating factory for externally supplied queries.
+  static StatusOr<JoinTree> Create(std::vector<QueryEdge> edges,
+                                   std::vector<AttrId> output_attrs);
 
   int num_edges() const { return static_cast<int>(edges_.size()); }
   const std::vector<QueryEdge>& edges() const { return edges_; }

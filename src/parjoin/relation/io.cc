@@ -6,9 +6,8 @@
 namespace parjoin {
 namespace internal_io {
 
-bool ParseCsvInt64Line(const std::string& line, int expected_fields,
-                       std::vector<std::int64_t>* fields,
-                       std::string* error) {
+Status ParseCsvInt64Line(const std::string& line, int expected_fields,
+                         std::vector<std::int64_t>* fields) {
   fields->clear();
   // Tolerate CRLF line endings: a single trailing '\r' is not data.
   std::size_t size = line.size();
@@ -24,8 +23,8 @@ bool ParseCsvInt64Line(const std::string& line, int expected_fields,
     // the token so " 1" and "1 " fail the same way "1 2" does.
     for (char ch : token) {
       if (std::isspace(static_cast<unsigned char>(ch))) {
-        *error = "whitespace in integer field '" + token + "'";
-        return false;
+        return InvalidArgumentError("whitespace in integer field '" + token +
+                                    "'");
       }
     }
     char* end = nullptr;
@@ -33,19 +32,18 @@ bool ParseCsvInt64Line(const std::string& line, int expected_fields,
     const long long value = std::strtoll(token.c_str(), &end, 10);
     if (end == token.c_str() || (end != nullptr && *end != '\0') ||
         errno == ERANGE) {
-      *error = "malformed integer field '" + token + "'";
-      return false;
+      return InvalidArgumentError("malformed integer field '" + token + "'");
     }
     fields->push_back(static_cast<std::int64_t>(value));
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
   if (static_cast<int>(fields->size()) != expected_fields) {
-    *error = "expected " + std::to_string(expected_fields) + " fields, got " +
-             std::to_string(fields->size());
-    return false;
+    return InvalidArgumentError(
+        "expected " + std::to_string(expected_fields) + " fields, got " +
+        std::to_string(fields->size()));
   }
-  return true;
+  return OkStatus();
 }
 
 }  // namespace internal_io

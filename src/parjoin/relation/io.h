@@ -8,6 +8,10 @@
 //   # R1(A, B) over the counting semiring
 //   0,17,2
 //   3,17,5
+//
+// These are ingress functions: malformed files are user errors, not bugs,
+// so they report through Status/StatusOr (common/status.h) instead of
+// CHECK-crashing.
 
 #ifndef PARJOIN_RELATION_IO_H_
 #define PARJOIN_RELATION_IO_H_
@@ -18,33 +22,30 @@
 #include <string>
 #include <vector>
 
-#include "parjoin/common/logging.h"
+#include "parjoin/common/status.h"
 #include "parjoin/relation/relation.h"
 
 namespace parjoin {
 
 namespace internal_io {
 
-// Parses a CSV line into int64 fields. Returns false (and sets *error)
-// on malformed input.
-bool ParseCsvInt64Line(const std::string& line, int expected_fields,
-                       std::vector<std::int64_t>* fields,
-                       std::string* error);
+// Parses a CSV line into int64 fields. Returns InvalidArgument on
+// malformed input.
+Status ParseCsvInt64Line(const std::string& line, int expected_fields,
+                         std::vector<std::int64_t>* fields);
 
 }  // namespace internal_io
 
-// Loads a relation from CSV. On failure returns false and describes the
-// problem in *error; the relation is left empty.
+// Loads a relation from CSV. Errors carry "path:line: what went wrong".
 template <SemiringC S>
-bool LoadRelationCsv(const std::string& path, const Schema& schema,
-                     Relation<S>* relation, std::string* error) {
+StatusOr<Relation<S>> LoadRelationCsv(const std::string& path,
+                                      const Schema& schema) {
   static_assert(std::is_convertible_v<std::int64_t, typename S::ValueType>,
                 "CSV I/O requires an integral-carrier semiring");
-  *relation = Relation<S>(schema);
+  Relation<S> relation(schema);
   std::ifstream in(path);
   if (!in) {
-    *error = "cannot open " + path;
-    return false;
+    return NotFoundError("cannot open " + path);
   }
   std::string line;
   int line_number = 0;
@@ -54,32 +55,29 @@ bool LoadRelationCsv(const std::string& path, const Schema& schema,
     // Tolerate CRLF files: getline leaves the '\r' on the line.
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
-    if (!internal_io::ParseCsvInt64Line(line, schema.size() + 1, &fields,
-                                        error)) {
-      *error = path + ":" + std::to_string(line_number) + ": " + *error;
-      *relation = Relation<S>(schema);
-      return false;
+    const Status parsed =
+        internal_io::ParseCsvInt64Line(line, schema.size() + 1, &fields);
+    if (!parsed.ok()) {
+      return Status(parsed.code(), path + ":" + std::to_string(line_number) +
+                                       ": " + parsed.message());
     }
     Row row;
     row.Reserve(schema.size());
     for (int i = 0; i < schema.size(); ++i) row.PushBack(fields[static_cast<size_t>(i)]);
-    relation->Add(std::move(row), static_cast<typename S::ValueType>(
-                                      fields[static_cast<size_t>(schema.size())]));
+    relation.Add(std::move(row), static_cast<typename S::ValueType>(
+                                     fields[static_cast<size_t>(schema.size())]));
   }
-  return true;
+  return relation;
 }
 
-// Writes a relation to CSV (schema order, annotation last). Returns false
-// with *error set if the file cannot be written.
+// Writes a relation to CSV (schema order, annotation last).
 template <SemiringC S>
-bool SaveRelationCsv(const std::string& path, const Relation<S>& relation,
-                     std::string* error) {
+Status SaveRelationCsv(const std::string& path, const Relation<S>& relation) {
   static_assert(std::is_convertible_v<typename S::ValueType, std::int64_t>,
                 "CSV I/O requires an integral-carrier semiring");
   std::ofstream out(path);
   if (!out) {
-    *error = "cannot open " + path + " for writing";
-    return false;
+    return NotFoundError("cannot open " + path + " for writing");
   }
   out << "# schema:";
   for (AttrId a : relation.schema().attrs()) out << " " << a;
@@ -88,7 +86,10 @@ bool SaveRelationCsv(const std::string& path, const Relation<S>& relation,
     for (int i = 0; i < t.row.size(); ++i) out << t.row[i] << ",";
     out << static_cast<std::int64_t>(t.w) << "\n";
   }
-  return static_cast<bool>(out);
+  if (!out) {
+    return DataLossError("write to " + path + " failed");
+  }
+  return OkStatus();
 }
 
 }  // namespace parjoin

@@ -8,9 +8,9 @@ MatMulBlockConfig MatMulBlockConfig::FromTargets(std::int64_t n,
                                                  std::int64_t out,
                                                  std::int64_t blocks,
                                                  std::uint64_t seed) {
-  CHECK_GE(n, 1);
-  CHECK_GE(out, 1);
-  CHECK_GE(blocks, 1);
+  CHECK_OK(internal_workload::ValidatePositive(n, "n"));
+  CHECK_OK(internal_workload::ValidatePositive(out, "out"));
+  CHECK_OK(internal_workload::ValidatePositive(blocks, "blocks"));
   // side_a = side_c = s, side_b = b with k*s*b = n and k*s^2 = out:
   //   s = sqrt(out/k), b = n / sqrt(k*out).
   const double k = static_cast<double>(blocks);
@@ -28,7 +28,7 @@ MatMulBlockConfig MatMulBlockConfig::FromTargets(std::int64_t n,
 
 JoinTree GenRandomQuery(int num_attrs, std::uint64_t seed, int max_degree,
                         double output_prob) {
-  CHECK_GE(num_attrs, 2);
+  CHECK_OK(internal_workload::ValidateAtLeast(num_attrs, 2, "num_attrs"));
   Rng rng(seed);
   std::vector<QueryEdge> edges;
   std::vector<int> degree(static_cast<size_t>(num_attrs), 0);

@@ -20,12 +20,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "parjoin/common/checked_math.h"
 #include "parjoin/common/logging.h"
 #include "parjoin/common/random.h"
+#include "parjoin/common/status.h"
 #include "parjoin/query/instance.h"
 #include "parjoin/relation/relation.h"
 #include "parjoin/semiring/semirings.h"
@@ -38,6 +41,55 @@ namespace parjoin {
 //   Star query over n relations: A_i = i for i in [1, n], B = 0; y = {1..n}.
 
 namespace internal_workload {
+
+// Config validation helpers. Generator configs come from bench sweeps and
+// (via query_runner) from users, so inconsistencies are reported as
+// Status; the generators themselves CHECK_OK after the caller had its
+// chance to handle the error.
+
+inline Status ValidateRelationDraw(std::int64_t count, std::int64_t dom_u,
+                                   std::int64_t dom_v) {
+  if (count < 0) {
+    return InvalidArgumentError("negative tuple count " +
+                                std::to_string(count));
+  }
+  if (dom_u < 1 || dom_v < 1) {
+    return InvalidArgumentError("empty attribute domain (" +
+                                std::to_string(dom_u) + " x " +
+                                std::to_string(dom_v) + ")");
+  }
+  // SaturatingMul: the domain product easily overflows int64 for the wide
+  // domains benches use; saturation keeps the comparison meaningful.
+  if (count > SaturatingMul(dom_u, dom_v)) {
+    return InvalidArgumentError(
+        "relation of " + std::to_string(count) +
+        " distinct tuples cannot fit in a " + std::to_string(dom_u) + " x " +
+        std::to_string(dom_v) + " domain");
+  }
+  return OkStatus();
+}
+
+inline Status ValidateArity(int arity) {
+  if (arity < 2) {
+    return InvalidArgumentError("query arity must be >= 2, got " +
+                                std::to_string(arity));
+  }
+  return OkStatus();
+}
+
+inline Status ValidateAtLeast(std::int64_t value, std::int64_t min,
+                              const char* what) {
+  if (value < min) {
+    return InvalidArgumentError(std::string(what) + " must be >= " +
+                                std::to_string(min) + ", got " +
+                                std::to_string(value));
+  }
+  return OkStatus();
+}
+
+inline Status ValidatePositive(std::int64_t value, const char* what) {
+  return ValidateAtLeast(value, 1, what);
+}
 
 // Draws a random annotation that is a valid carrier value for S. The
 // Boolean semiring's carrier is {0,1}: present tuples get One().
@@ -64,7 +116,7 @@ Relation<S> RandomBinaryRelation(Schema schema, std::int64_t count,
                                  std::int64_t dom_u, std::int64_t dom_v,
                                  double skew_v, std::int64_t max_weight,
                                  Rng& rng) {
-  CHECK_LE(count, dom_u * dom_v) << "relation cannot hold distinct tuples";
+  CHECK_OK(ValidateRelationDraw(count, dom_u, dom_v));
   Relation<S> rel(std::move(schema));
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(static_cast<size_t>(count) * 2);
@@ -72,7 +124,9 @@ Relation<S> RandomBinaryRelation(Schema schema, std::int64_t count,
   std::int64_t attempts = 0;
   while (static_cast<std::int64_t>(seen.size()) < count) {
     // Fall back to denser sampling if rejection stalls (tiny domains).
-    CHECK_LT(attempts++, 100 * count + 1000) << "generator stalled";
+    // A stall is an internal sampling bug, not an input error.
+    CHECK_LT(attempts++, 100 * count + 1000)  // parjoin-lint: allow(ingress-status)
+        << "generator stalled";
     const Value u = rng.Uniform(0, dom_u - 1);
     const Value v = skew_v == 0 ? rng.Uniform(0, dom_v - 1)
                                 : zipf.Sample(rng) - 1;
@@ -97,11 +151,20 @@ struct MatMulGenConfig {
   double skew_b = 0;  // Zipf skew of the join attribute B
   std::int64_t max_weight = 10;
   std::uint64_t seed = 1;
+
+  Status Validate() const {
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidateRelationDraw(n1, dom_a, dom_b));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidateRelationDraw(n2, dom_c, dom_b));
+    return internal_workload::ValidatePositive(max_weight, "max_weight");
+  }
 };
 
 template <SemiringC S>
 TreeInstance<S> GenMatMulRandom(const mpc::Cluster& cluster,
                                 const MatMulGenConfig& cfg) {
+  CHECK_OK(cfg.Validate());
   Rng rng(cfg.seed);
   TreeInstance<S> instance{
       JoinTree({{0, 1}, {1, 2}}, {0, 2}),
@@ -139,6 +202,18 @@ struct MatMulBlockConfig {
   std::int64_t n2() const { return blocks * side_b * side_c; }
   std::int64_t out() const { return blocks * side_a * side_c; }
 
+  Status Validate() const {
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(blocks, "blocks"));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(side_a, "side_a"));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(side_b, "side_b"));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(side_c, "side_c"));
+    return internal_workload::ValidatePositive(max_weight, "max_weight");
+  }
+
   // Chooses a geometry matching the targets within rounding: N1 = N2 ~ n,
   // OUT ~ out, split into ~`blocks` blocks.
   static MatMulBlockConfig FromTargets(std::int64_t n, std::int64_t out,
@@ -149,6 +224,7 @@ struct MatMulBlockConfig {
 template <SemiringC S>
 TreeInstance<S> GenMatMulBlocks(const mpc::Cluster& cluster,
                                 const MatMulBlockConfig& cfg) {
+  CHECK_OK(cfg.Validate());
   Rng rng(cfg.seed);
   Relation<S> r1(Schema{0, 1});
   Relation<S> r2(Schema{1, 2});
@@ -184,8 +260,8 @@ template <SemiringC S>
 TreeInstance<S> GenLowerBoundThm2(const mpc::Cluster& cluster,
                                   std::int64_t n1, std::int64_t n2,
                                   std::uint64_t seed = 1) {
-  CHECK_GE(n1, 2);
-  CHECK_GE(n2, 2);
+  CHECK_OK(internal_workload::ValidateAtLeast(n1, 2, "n1"));
+  CHECK_OK(internal_workload::ValidateAtLeast(n2, 2, "n2"));
   Rng rng(seed);
   Relation<S> r1(Schema{0, 1});
   for (std::int64_t b = 0; b < n1; ++b) {
@@ -244,12 +320,23 @@ struct LineBlockConfig {
   std::uint64_t seed = 1;
 
   std::int64_t out() const { return blocks * side_end * side_end; }
+
+  Status Validate() const {
+    PARJOIN_RETURN_IF_ERROR(internal_workload::ValidateArity(arity));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(blocks, "blocks"));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(side_end, "side_end"));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(side_mid, "side_mid"));
+    return internal_workload::ValidatePositive(max_weight, "max_weight");
+  }
 };
 
 template <SemiringC S>
 TreeInstance<S> GenLineBlocks(const mpc::Cluster& cluster,
                               const LineBlockConfig& cfg) {
-  CHECK_GE(cfg.arity, 2);
+  CHECK_OK(cfg.Validate());
   Rng rng(cfg.seed);
   std::vector<QueryEdge> edges;
   for (int i = 0; i < cfg.arity; ++i) edges.push_back({i, i + 1});
@@ -282,7 +369,7 @@ TreeInstance<S> GenLineRandom(const mpc::Cluster& cluster, int arity,
                               std::int64_t dom, double skew = 0,
                               std::uint64_t seed = 1,
                               std::int64_t max_weight = 10) {
-  CHECK_GE(arity, 2);
+  CHECK_OK(internal_workload::ValidateArity(arity));
   Rng rng(seed);
   std::vector<QueryEdge> edges;
   for (int i = 0; i < arity; ++i) edges.push_back({i, i + 1});
@@ -313,12 +400,23 @@ struct StarBlockConfig {
     for (int i = 0; i < arity; ++i) o *= side_arm;
     return o;
   }
+
+  Status Validate() const {
+    PARJOIN_RETURN_IF_ERROR(internal_workload::ValidateArity(arity));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(blocks, "blocks"));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(side_arm, "side_arm"));
+    PARJOIN_RETURN_IF_ERROR(
+        internal_workload::ValidatePositive(side_b, "side_b"));
+    return internal_workload::ValidatePositive(max_weight, "max_weight");
+  }
 };
 
 template <SemiringC S>
 TreeInstance<S> GenStarBlocks(const mpc::Cluster& cluster,
                               const StarBlockConfig& cfg) {
-  CHECK_GE(cfg.arity, 2);
+  CHECK_OK(cfg.Validate());
   Rng rng(cfg.seed);
   std::vector<QueryEdge> edges;
   std::vector<AttrId> outputs;
@@ -350,7 +448,7 @@ TreeInstance<S> GenStarRandom(const mpc::Cluster& cluster, int arity,
                               std::int64_t dom_arm, std::int64_t dom_b,
                               double skew_b = 0, std::uint64_t seed = 1,
                               std::int64_t max_weight = 10) {
-  CHECK_GE(arity, 2);
+  CHECK_OK(internal_workload::ValidateArity(arity));
   Rng rng(seed);
   std::vector<QueryEdge> edges;
   std::vector<AttrId> outputs;

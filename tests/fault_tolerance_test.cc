@@ -1,0 +1,427 @@
+// Fault-tolerance tests: deterministic fault schedules, checkpoint/replay
+// recovery through plan::PlanAndRun, the load-budget guardrail, and the
+// abort-safety of the round-accounting machinery.
+//
+// The headline property mirrors the determinism tentpole: with fault
+// injection on, every tier-1 query shape recovers to an output
+// bit-identical (after Normalize) to the fault-free run — at every thread
+// count — and the recovery traffic shows up in the cost ledger instead of
+// being silently free.
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/reference.h"
+#include "parjoin/common/parallel_for.h"
+#include "parjoin/mpc/checkpoint.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/mpc/dist.h"
+#include "parjoin/mpc/exchange.h"
+#include "parjoin/mpc/faults.h"
+#include "parjoin/plan/executor.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+// Restores the default thread count when a test exits.
+struct ThreadOverrideGuard {
+  ~ThreadOverrideGuard() { SetParallelForThreads(0); }
+};
+
+// The CI fault matrix varies these; local runs get fixed defaults.
+std::uint64_t FaultSeed() {
+  if (const char* env = std::getenv("PARJOIN_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 7;
+}
+
+int CheckpointInterval() {
+  if (const char* env = std::getenv("PARJOIN_CHECKPOINT_INTERVAL")) {
+    return static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  return 2;
+}
+
+plan::ExecutionOptions FaultedOptions() {
+  plan::ExecutionOptions options;
+  options.faults.enabled = true;
+  options.faults.seed = FaultSeed();
+  options.checkpoint_interval = CheckpointInterval();
+  return options;
+}
+
+// --- schedule determinism -----------------------------------------------------
+
+TEST(FaultPlanTest, SameSeedSameSchedule) {
+  mpc::FaultConfig config;
+  config.seed = 42;
+  const mpc::FaultPlan a = mpc::FaultPlan::Generate(config, 8);
+  const mpc::FaultPlan b = mpc::FaultPlan::Generate(config, 8);
+  EXPECT_EQ(a.ScheduleString(), b.ScheduleString());
+  EXPECT_FALSE(a.ScheduleString().empty());
+  EXPECT_NE(a.ScheduleString().find("crash"), std::string::npos);
+  EXPECT_NE(a.ScheduleString().find("straggler"), std::string::npos);
+  EXPECT_NE(a.ScheduleString().find("corruption"), std::string::npos);
+}
+
+TEST(FaultPlanTest, EventsRespectConfigCountsAndHorizon) {
+  mpc::FaultConfig config;
+  config.crashes = 2;
+  config.stragglers = 3;
+  config.corruptions = 1;
+  config.horizon = 5;
+  const mpc::FaultPlan plan = mpc::FaultPlan::Generate(config, 16);
+  int crashes = 0, stragglers = 0, corruptions = 0;
+  for (const mpc::FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.round, 1);
+    EXPECT_LE(e.round, config.horizon);
+    EXPECT_GE(e.server, 0);
+    EXPECT_LT(e.server, 16);
+    switch (e.kind) {
+      case mpc::FaultKind::kCrash:
+        ++crashes;
+        break;
+      case mpc::FaultKind::kStraggler:
+        ++stragglers;
+        EXPECT_GE(e.factor, config.straggle_min);
+        EXPECT_LE(e.factor, config.straggle_max);
+        break;
+      case mpc::FaultKind::kCorruption:
+        ++corruptions;
+        EXPECT_NE(e.corruption_mask, 0u);
+        break;
+    }
+  }
+  EXPECT_EQ(crashes, 2);
+  EXPECT_EQ(stragglers, 3);
+  EXPECT_EQ(corruptions, 1);
+}
+
+// --- recovery to bit-identical outputs ----------------------------------------
+
+// Runs `make_instance` fault-free and under the full fault schedule (crash
+// + straggler + corruption) and requires identical normalized outputs,
+// with every fault visibly priced into the ledger.
+template <typename MakeInstance>
+void ExpectRecoversIdentically(const MakeInstance& make_instance,
+                               int p, const char* what) {
+  Relation<S> baseline;
+  plan::Algorithm chosen = plan::Algorithm::kYannakakis;
+  {
+    mpc::Cluster cluster(p);
+    auto exec = plan::PlanAndRun(cluster, make_instance(cluster));
+    baseline = exec.result.ToLocal();
+    baseline.Normalize();
+    chosen = exec.plan.chosen;
+    EXPECT_EQ(exec.plan.execution_stats.recovery_comm, 0) << what;
+    EXPECT_EQ(exec.plan.recovery.attempts, 1) << what;
+  }
+
+  mpc::Cluster cluster(p);
+  auto instance = make_instance(cluster);
+  auto exec = plan::PlanAndRun(cluster, std::move(instance),
+                               plan::PlannerOptions{}, FaultedOptions());
+  Relation<S> got = exec.result.ToLocal();
+  got.Normalize();
+
+  EXPECT_TRUE(got == baseline)
+      << what << ": got " << got.size() << " tuples, expected "
+      << baseline.size() << "\n"
+      << exec.plan.ToText();
+  // Planning is fault-free, so the choice must match the baseline run.
+  EXPECT_EQ(exec.plan.chosen, chosen) << what;
+
+  const auto& stats = exec.plan.execution_stats;
+  const auto& recovery = exec.plan.recovery;
+  EXPECT_GE(recovery.crashes, 1) << what;
+  EXPECT_GE(recovery.attempts, 2) << what;
+  EXPECT_EQ(cluster.p(), p - recovery.crashes) << what;
+  EXPECT_GE(stats.retransmits, 1) << what;
+  EXPECT_GT(stats.recovery_comm, 0) << what;
+  EXPECT_GE(stats.critical_path, stats.max_load) << what;
+  bool straggled = false;
+  for (const std::string& event : recovery.events) {
+    if (event.find("straggler") != std::string::npos) straggled = true;
+  }
+  EXPECT_TRUE(straggled) << what << ": no straggler event fired\n"
+                         << exec.plan.ToText();
+}
+
+TEST(FaultRecoveryTest, MatMulRecoversBitIdentical) {
+  ThreadOverrideGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    ExpectRecoversIdentically(
+        [](const mpc::Cluster& cluster) {
+          return GenMatMulBlocks<S>(
+              cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+        },
+        /*p=*/8, "matmul");
+  }
+}
+
+TEST(FaultRecoveryTest, LineRecoversBitIdentical) {
+  ThreadOverrideGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    ExpectRecoversIdentically(
+        [](const mpc::Cluster& cluster) {
+          LineBlockConfig cfg;
+          cfg.arity = 3;
+          cfg.blocks = 4;
+          cfg.side_end = 4;
+          cfg.side_mid = 12;
+          return GenLineBlocks<S>(cluster, cfg);
+        },
+        /*p=*/8, "line");
+  }
+}
+
+TEST(FaultRecoveryTest, StarRecoversBitIdentical) {
+  ThreadOverrideGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    ExpectRecoversIdentically(
+        [](const mpc::Cluster& cluster) {
+          StarBlockConfig cfg;
+          return GenStarBlocks<S>(cluster, cfg);
+        },
+        /*p=*/8, "star");
+  }
+}
+
+TEST(FaultRecoveryTest, TreeRecoversBitIdentical) {
+  ThreadOverrideGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    ExpectRecoversIdentically(
+        [](const mpc::Cluster& cluster) {
+          JoinTree query({{0, 1}, {1, 2}, {2, 3}, {2, 4}}, {0, 3, 4});
+          return GenTreeRandom<S>(cluster, std::move(query),
+                                  /*tuples_per_relation=*/600, /*dom=*/30,
+                                  /*seed=*/5);
+        },
+        /*p=*/8, "tree");
+  }
+}
+
+TEST(FaultRecoveryTest, SameSeedsReproduceTheRunExactly) {
+  auto run = [] {
+    mpc::Cluster cluster(8);
+    auto instance = GenMatMulBlocks<S>(
+        cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+    auto exec = plan::PlanAndRun(cluster, std::move(instance),
+                                 plan::PlannerOptions{}, FaultedOptions());
+    Relation<S> out = exec.result.ToLocal();
+    out.Normalize();
+    return std::make_pair(std::move(out), exec.plan.execution_stats);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_TRUE(a.first == b.first);
+  EXPECT_EQ(a.second.rounds, b.second.rounds);
+  EXPECT_EQ(a.second.max_load, b.second.max_load);
+  EXPECT_EQ(a.second.total_comm, b.second.total_comm);
+  EXPECT_EQ(a.second.critical_path, b.second.critical_path);
+  EXPECT_EQ(a.second.recovery_comm, b.second.recovery_comm);
+  EXPECT_EQ(a.second.retransmits, b.second.retransmits);
+  EXPECT_EQ(a.second.crashes, b.second.crashes);
+}
+
+// --- corruption repair in isolation -------------------------------------------
+
+TEST(FaultCorruptionTest, RetransmissionRepairsWithoutChangingOutput) {
+  using KV = std::pair<std::int64_t, std::int64_t>;
+  const int p = 4;
+  auto make_input = [p] {
+    std::vector<KV> items;
+    for (std::int64_t i = 0; i < 200; ++i) items.emplace_back(i, i % 7);
+    return mpc::ScatterEvenly(std::move(items), p);
+  };
+  auto route = [p](const KV& kv) {
+    return static_cast<int>(kv.first % p);
+  };
+
+  mpc::Cluster clean(p);
+  const auto clean_parts =
+      mpc::Exchange(clean, make_input(), p, route).parts();
+
+  mpc::Cluster faulty(p);
+  mpc::FaultConfig config;
+  config.crashes = 0;
+  config.stragglers = 0;
+  config.corruptions = 1;
+  config.horizon = 1;
+  faulty.EnableFaults(config);
+  const auto faulty_parts =
+      mpc::Exchange(faulty, make_input(), p, route).parts();
+
+  EXPECT_EQ(clean_parts, faulty_parts);
+  EXPECT_EQ(faulty.stats().retransmits, 1);
+  EXPECT_GT(faulty.stats().recovery_comm, 0);
+  // The repaired destination received its message twice.
+  EXPECT_GT(faulty.stats().total_comm, clean.stats().total_comm);
+  EXPECT_EQ(faulty.stats().total_comm - faulty.stats().recovery_comm,
+            clean.stats().total_comm);
+}
+
+// --- stragglers and the critical path -----------------------------------------
+
+TEST(FaultStragglerTest, CriticalPathStretchesByTheDelayFactor) {
+  mpc::Cluster cluster(4);
+  mpc::FaultConfig config;
+  config.crashes = 0;
+  config.corruptions = 0;
+  config.stragglers = 1;
+  config.straggle_min = 3.0;
+  config.straggle_max = 3.0;
+  config.horizon = 1;
+  cluster.EnableFaults(config);
+  cluster.ChargeUniformRound(10);  // straggled: contributes 30
+  cluster.ChargeUniformRound(10);  // normal: contributes 10
+  EXPECT_EQ(cluster.stats().max_load, 10);
+  EXPECT_EQ(cluster.stats().critical_path, 40);
+  ASSERT_EQ(cluster.fault_log().size(), 1u);
+  EXPECT_NE(cluster.fault_log()[0].find("straggler"), std::string::npos);
+}
+
+TEST(FaultStragglerTest, FaultFreeCriticalPathIsSumOfRoundMaxima) {
+  mpc::Cluster cluster(3);
+  cluster.ChargeRound({5, 9, 2});
+  cluster.ChargeRound({1, 1, 7});
+  EXPECT_EQ(cluster.stats().critical_path, 16);
+  EXPECT_EQ(cluster.stats().max_load, 9);
+}
+
+// --- checkpoint replication & restore -----------------------------------------
+
+TEST(CheckpointTest, ReplicationRoundsAreChargedAsRecovery) {
+  mpc::Cluster cluster(2);
+  cluster.SetCheckpointInterval(2);
+  cluster.ChargeRound({5, 7});
+  EXPECT_EQ(cluster.stats().rounds, 1);
+  cluster.ChargeRound({5, 7});
+  // The second charged round completed the interval: one replication round
+  // copying everything since the last checkpoint (10 and 14 tuples).
+  EXPECT_EQ(cluster.stats().rounds, 3);
+  EXPECT_EQ(cluster.stats().max_load, 14);
+  EXPECT_EQ(cluster.stats().recovery_comm, 24);
+  EXPECT_EQ(cluster.stats().total_comm, 12 + 12 + 24);
+  EXPECT_EQ(cluster.stats().critical_path, 7 + 7 + 14);
+}
+
+TEST(CheckpointTest, SnapshotAndRestoreRehostOntoLiveServers) {
+  mpc::Cluster cluster(7);
+  std::vector<std::vector<int>> parts(8);
+  for (int v = 0; v < 8; ++v) parts[static_cast<size_t>(v)] = {v, v, v};
+  mpc::Dist<int> d(std::move(parts));
+
+  const mpc::DistSnapshot<int> snap = mpc::CheckpointDist(cluster, d);
+  EXPECT_EQ(cluster.stats().recovery_comm, 24);  // 8 parts x 3 tuples
+  EXPECT_EQ(cluster.stats().rounds, 1);
+
+  const mpc::Dist<int> restored = mpc::RestoreDist(cluster, snap);
+  EXPECT_EQ(restored.num_parts(), 7);
+  EXPECT_EQ(cluster.stats().recovery_comm, 48);
+  // Snapshot partition 7 lands on server 7 mod 7 = 0 alongside partition 0.
+  EXPECT_EQ(restored.part(0), (std::vector<int>{0, 0, 0, 7, 7, 7}));
+  EXPECT_EQ(restored.part(1), (std::vector<int>{1, 1, 1}));
+}
+
+// --- load-budget guardrail ----------------------------------------------------
+
+TEST(LoadBudgetTest, ExceededBudgetDegradesOntoYannakakis) {
+  mpc::Cluster cluster(8);
+  auto instance = GenMatMulBlocks<S>(
+      cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+  Relation<S> expected = EvaluateReference(instance);
+
+  cluster.ResetStats();
+  plan::PhysicalPlan plan = plan::PlanQuery(cluster, instance);
+  ASSERT_NE(plan.shape, QueryShape::kSingleEdge);
+  plan.chosen = plan::Algorithm::kMatMulWorstCase;
+  plan.predicted_load = 1;  // guaranteed mispredicted
+
+  plan::ExecutionOptions options;
+  options.load_budget_factor = 1.0;
+  cluster.ResetStats();
+  Relation<S> got =
+      plan::ExecuteWithRecovery(cluster, std::move(instance), options, &plan)
+          .ToLocal();
+  got.Normalize();
+
+  EXPECT_TRUE(plan.recovery.degraded_to_baseline) << plan.ToText();
+  EXPECT_EQ(plan.recovery.budget_aborts, 1);
+  EXPECT_EQ(plan.executed, plan::Algorithm::kYannakakis);
+  EXPECT_EQ(plan.recovery.crashes, 0);
+  EXPECT_TRUE(got == expected)
+      << "got " << got.size() << " expected " << expected.size();
+}
+
+TEST(LoadBudgetTest, GenerousBudgetNeverFires) {
+  mpc::Cluster cluster(8);
+  auto instance = GenMatMulBlocks<S>(
+      cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+  plan::ExecutionOptions options;
+  options.load_budget_factor = 1e9;
+  auto exec = plan::PlanAndRun(cluster, std::move(instance),
+                               plan::PlannerOptions{}, options);
+  EXPECT_EQ(exec.plan.recovery.budget_aborts, 0);
+  EXPECT_FALSE(exec.plan.recovery.degraded_to_baseline);
+  EXPECT_EQ(exec.plan.executed, exec.plan.chosen);
+}
+
+// --- abort safety of the accounting machinery ---------------------------------
+
+TEST(AbortSafetyTest, ResetStatsInvalidatesLiveRegions) {
+  mpc::Cluster cluster(4);
+  {
+    mpc::ParallelRegion region(cluster);
+    region.NextBranch();
+    cluster.ResetStats();  // stale guard must become a no-op
+    region.NextBranch();
+  }
+  cluster.CheckQuiescent();
+  cluster.ChargeUniformRound(3);
+  EXPECT_EQ(cluster.stats().rounds, 1);
+}
+
+TEST(AbortSafetyTest, RoundAbortUnwindClosesRegions) {
+  mpc::Cluster cluster(4);
+  cluster.SetLoadBudget(1);
+  bool aborted = false;
+  try {
+    mpc::ParallelRegion region(cluster);
+    cluster.ChargeUniformRound(100);
+  } catch (const mpc::RoundAbort& abort) {
+    aborted = true;
+    EXPECT_EQ(abort.reason, mpc::RoundAbort::Reason::kLoadBudget);
+    EXPECT_NE(abort.ToString().find("exceeded budget"), std::string::npos);
+  }
+  ASSERT_TRUE(aborted);
+  cluster.CheckQuiescent();  // the unwound guard closed its region
+  cluster.SetLoadBudget(0);
+  cluster.ChargeUniformRound(100);
+  EXPECT_EQ(cluster.stats().max_load, 100);
+}
+
+TEST(AbortSafetyDeathTest, OverflowingChargeAborts) {
+  mpc::Cluster cluster(4);
+  EXPECT_DEATH(cluster.ChargeUniformRound(
+                   std::numeric_limits<std::int64_t>::max() / 2),
+               "overflow");
+}
+
+}  // namespace
+}  // namespace parjoin

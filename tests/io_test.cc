@@ -1,5 +1,5 @@
 // Tests for CSV relation I/O: round-trips, comments/blank lines, and
-// malformed-input rejection with precise diagnostics.
+// malformed-input rejection with precise Status diagnostics.
 
 #include "parjoin/relation/io.h"
 
@@ -34,47 +34,50 @@ TEST_F(IoTest, RoundTrip) {
   rel.Add(Row{7000000000LL, 8}, 9);
 
   const std::string path = TempPath("roundtrip.csv");
-  std::string error;
-  ASSERT_TRUE(SaveRelationCsv(path, rel, &error)) << error;
+  ASSERT_TRUE(SaveRelationCsv(path, rel).ok());
 
-  Relation<S> loaded;
-  ASSERT_TRUE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error)) << error;
-  loaded.Normalize();
+  StatusOr<Relation<S>> loaded = LoadRelationCsv<S>(path, Schema{0, 1});
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  loaded->Normalize();
   rel.Normalize();
-  EXPECT_TRUE(loaded == rel);
+  EXPECT_TRUE(*loaded == rel);
   std::remove(path.c_str());
 }
 
 TEST_F(IoTest, SkipsCommentsAndBlankLines) {
   const std::string path = TempPath("comments.csv");
   WriteFile(path, "# header comment\n\n1,2,3\n\n# trailing\n4,5,6\n");
-  Relation<S> loaded;
-  std::string error;
-  ASSERT_TRUE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error)) << error;
-  EXPECT_EQ(loaded.size(), 2);
+  StatusOr<Relation<S>> loaded = LoadRelationCsv<S>(path, Schema{0, 1});
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2);
   std::remove(path.c_str());
 }
 
 TEST_F(IoTest, RejectsWrongFieldCount) {
   const std::string path = TempPath("fields.csv");
   WriteFile(path, "1,2\n");
-  Relation<S> loaded;
-  std::string error;
-  EXPECT_FALSE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error));
-  EXPECT_NE(error.find("expected 3 fields"), std::string::npos) << error;
-  EXPECT_NE(error.find(":1:"), std::string::npos) << "line number missing";
-  EXPECT_EQ(loaded.size(), 0);
+  StatusOr<Relation<S>> loaded = LoadRelationCsv<S>(path, Schema{0, 1});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("expected 3 fields"),
+            std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().message().find(":1:"), std::string::npos)
+      << "line number missing: " << loaded.status();
   std::remove(path.c_str());
 }
 
 TEST_F(IoTest, RejectsNonInteger) {
   const std::string path = TempPath("nonint.csv");
   WriteFile(path, "1,2,3\n1,abc,3\n");
-  Relation<S> loaded;
-  std::string error;
-  EXPECT_FALSE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error));
-  EXPECT_NE(error.find("malformed integer"), std::string::npos) << error;
-  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  StatusOr<Relation<S>> loaded = LoadRelationCsv<S>(path, Schema{0, 1});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("malformed integer"),
+            std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos)
+      << loaded.status();
   std::remove(path.c_str());
 }
 
@@ -83,10 +86,9 @@ TEST_F(IoTest, AcceptsCrlfLineEndings) {
   // data. Blank CRLF lines and CRLF comments must be skipped too.
   const std::string path = TempPath("crlf.csv");
   WriteFile(path, "# comment\r\n1,2,3\r\n\r\n4,5,6\r\n");
-  Relation<S> loaded;
-  std::string error;
-  ASSERT_TRUE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error)) << error;
-  EXPECT_EQ(loaded.size(), 2);
+  StatusOr<Relation<S>> loaded = LoadRelationCsv<S>(path, Schema{0, 1});
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2);
   std::remove(path.c_str());
 }
 
@@ -97,41 +99,42 @@ TEST_F(IoTest, RejectsWhitespaceInFields) {
                                     "1,\t2,3\n"}) {
     const std::string path = TempPath("whitespace.csv");
     WriteFile(path, content);
-    Relation<S> loaded;
-    std::string error;
-    EXPECT_FALSE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error))
-        << "accepted: " << content;
-    EXPECT_NE(error.find("whitespace"), std::string::npos) << error;
-    EXPECT_EQ(loaded.size(), 0);
+    StatusOr<Relation<S>> loaded = LoadRelationCsv<S>(path, Schema{0, 1});
+    ASSERT_FALSE(loaded.ok()) << "accepted: " << content;
+    EXPECT_NE(loaded.status().message().find("whitespace"),
+              std::string::npos)
+        << loaded.status();
     std::remove(path.c_str());
   }
 }
 
 TEST_F(IoTest, ParseLineHandlesCrlfAndRejectsInnerCr) {
   std::vector<std::int64_t> fields;
-  std::string error;
-  EXPECT_TRUE(internal_io::ParseCsvInt64Line("1,2\r", 2, &fields, &error))
-      << error;
+  const Status crlf = internal_io::ParseCsvInt64Line("1,2\r", 2, &fields);
+  EXPECT_TRUE(crlf.ok()) << crlf;
   EXPECT_EQ(fields, (std::vector<std::int64_t>{1, 2}));
-  EXPECT_FALSE(internal_io::ParseCsvInt64Line("1\r,2", 2, &fields, &error));
-  EXPECT_NE(error.find("whitespace"), std::string::npos) << error;
+  const Status inner = internal_io::ParseCsvInt64Line("1\r,2", 2, &fields);
+  ASSERT_FALSE(inner.ok());
+  EXPECT_NE(inner.message().find("whitespace"), std::string::npos) << inner;
 }
 
 TEST_F(IoTest, MissingFileReportsPath) {
-  Relation<S> loaded;
-  std::string error;
-  EXPECT_FALSE(LoadRelationCsv("/nonexistent/never.csv", Schema{0, 1},
-                               &loaded, &error));
-  EXPECT_NE(error.find("cannot open"), std::string::npos);
+  StatusOr<Relation<S>> loaded =
+      LoadRelationCsv<S>("/nonexistent/never.csv", Schema{0, 1});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("cannot open"),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find("/nonexistent/never.csv"),
+            std::string::npos);
 }
 
 TEST_F(IoTest, EmptyFileGivesEmptyRelation) {
   const std::string path = TempPath("empty.csv");
   WriteFile(path, "");
-  Relation<S> loaded;
-  std::string error;
-  ASSERT_TRUE(LoadRelationCsv(path, Schema{0, 1}, &loaded, &error));
-  EXPECT_EQ(loaded.size(), 0);
+  StatusOr<Relation<S>> loaded = LoadRelationCsv<S>(path, Schema{0, 1});
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 0);
   std::remove(path.c_str());
 }
 

@@ -137,7 +137,7 @@ TEST(ApiMisuseDeathTest, MismatchedRelationSchema) {
   Relation<S> wrong(Schema{5, 6});
   wrong.Add(Row{1, 2}, 1);
   instance.relations.push_back(Distribute(cluster, wrong));
-  EXPECT_DEATH(instance.Validate(), "missing attribute");
+  EXPECT_DEATH(instance.Validate(), "does not cover edge");
 }
 
 TEST(ApiMisuseDeathTest, RowOutOfBounds) {

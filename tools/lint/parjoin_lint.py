@@ -44,6 +44,13 @@ Rules (ids used by `// parjoin-lint: allow(<id>): <why>` suppressions):
   include-hygiene      Project headers are quote-included by full path;
                        C++ standard headers are angle-included; a .cc file
                        includes its own header first.
+  ingress-status       On input-facing paths (relation/io.*, workload/),
+                       CHECK* macros and LOG(FATAL) are banned except
+                       CHECK_OK: malformed *input* must surface as
+                       Status/StatusOr (common/status.h) so callers like
+                       query_runner can report and exit instead of
+                       aborting. CHECK_OK marks call sites whose arguments
+                       are validated by construction.
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -283,6 +290,28 @@ def check_cross_part_write(rel, raw, code, findings):
             "ExchangeMulti so the load ledger stays exact"))
 
 
+def check_ingress_status(rel, raw, code, findings):
+    if not (rel.startswith("src/parjoin/workload/") or
+            rel.startswith("src/parjoin/relation/io.")):
+        return
+    pat = re.compile(r"\b(CHECK(?:_[A-Z]+)?|LOG)\s*\(")
+    for i, line in enumerate(code):
+        for m in pat.finditer(line):
+            macro = m.group(1)
+            if macro == "CHECK_OK":
+                continue
+            if macro == "LOG" and \
+                    not line[m.end():].lstrip().startswith("FATAL"):
+                continue
+            if allowed("ingress-status", raw, i):
+                continue
+            findings.append(Finding(
+                rel, i + 1, "ingress-status",
+                f"'{macro}' on an ingress path; malformed input must "
+                "surface as Status/StatusOr (common/status.h), with "
+                "CHECK_OK reserved for validated-by-construction calls"))
+
+
 def canonical_guard(rel):
     if rel.startswith("src/parjoin/"):
         stem = rel[len("src/parjoin/"):]
@@ -359,7 +388,7 @@ def check_include_hygiene(rel, raw, code, findings, root):
 
 RULES = [
     "thread-primitive", "raw-sync", "nondet-random", "unchecked-count-mul",
-    "cross-part-write", "header-guard", "include-hygiene",
+    "cross-part-write", "header-guard", "include-hygiene", "ingress-status",
 ]
 
 
@@ -377,6 +406,7 @@ def lint_file(path, root):
     check_nondet_random(rel, raw, code, findings)
     check_unchecked_count_mul(rel, raw, code, findings)
     check_cross_part_write(rel, raw, code, findings)
+    check_ingress_status(rel, raw, code, findings)
     check_header_guard(rel, raw, code, findings)
     check_include_hygiene(rel, raw, code, findings, root)
     return findings
@@ -437,6 +467,14 @@ SELF_TEST_CASES = [
      "  out.part(dest).push_back(item);\n"
      "}\n"
      "#endif  // PARJOIN_ALGORITHMS_BAD_PART_H_\n"),
+    ("ingress-status", "src/parjoin/workload/bad_ingress.h",
+     "#ifndef PARJOIN_WORKLOAD_BAD_INGRESS_H_\n"
+     "#define PARJOIN_WORKLOAD_BAD_INGRESS_H_\n"
+     "inline void f(int n) { CHECK_GT(n, 0); }\n"
+     "#endif  // PARJOIN_WORKLOAD_BAD_INGRESS_H_\n"),
+    ("ingress-status", "src/parjoin/relation/io.cc",
+     "#include \"parjoin/relation/io.h\"\n"
+     "void f() { LOG(FATAL) << \"bad csv\"; }\n"),
     ("header-guard", "src/parjoin/common/bad_guard.h",
      "#pragma once\n"
      "inline int f() { return 1; }\n"),
