@@ -253,10 +253,152 @@ void PrintLinearLoadTable() {
   std::cout << std::endl;
 }
 
+// --- E6: final-merge strategy & fix-round ablation ---------------------------
+
+using PairRuns =
+    std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>>;
+
+// (a) The same presorted runs merged by the old pairwise ladder vs the
+// splitter-partitioned multiway merge, at forced thread counts. The
+// outputs are verified identical every time — the strategies may differ
+// only in wall time (at threads=1 the splitter path falls back to the
+// ladder, so there is nothing to regress).
+void RunMergeAblation(std::vector<bench::BenchJsonEntry>* json_entries) {
+  const std::int64_t n = 1 << 20;
+  const int run_count = 64;
+  std::cout << "Final-merge strategies (N = 2^20, " << run_count
+            << " presorted runs; outputs verified identical):\n";
+  const auto by_key = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  auto dist = mpc::ScatterEvenly(MakePairs(n, n / 4, 11), run_count);
+  for (auto& part : dist.parts()) {
+    std::stable_sort(part.begin(), part.end(), by_key);
+  }
+  const PairRuns& runs = dist.parts();
+
+  TablePrinter table({"threads", "pairwise_ms", "splitter_ms", "speedup"});
+  for (int threads : {1, 2, 4, 8}) {
+    SetParallelForThreads(threads);
+    PairRuns copy = runs;
+    Stopwatch pairwise_watch;
+    const auto pairwise = mpc::internal_primitives::MergeSortedRunsPairwise(
+        std::move(copy), by_key);
+    const double pairwise_ms = pairwise_watch.ElapsedMillis();
+    copy = runs;
+    Stopwatch splitter_watch;
+    const auto splitter =
+        mpc::internal_primitives::MergeSortedRuns(std::move(copy), by_key);
+    const double splitter_ms = splitter_watch.ElapsedMillis();
+    CHECK(pairwise == splitter)
+        << "merge strategies disagree at threads=" << threads;
+    table.AddRow({Fmt(static_cast<std::int64_t>(threads)), Fmt(pairwise_ms),
+                  Fmt(splitter_ms),
+                  bench::Ratio(pairwise_ms, splitter_ms)});
+    for (const auto& [strategy, wall_ms] :
+         {std::pair<std::string, double>{"pairwise", pairwise_ms},
+          std::pair<std::string, double>{"splitter", splitter_ms}}) {
+      bench::BenchJsonEntry entry;
+      entry.experiment = "E6";
+      entry.name = "merge/" + strategy +
+                   "/threads=" + std::to_string(threads);
+      entry.n = n;
+      entry.p = run_count;
+      entry.threads = threads;
+      entry.result.wall_ms = wall_ms;
+      json_entries->push_back(std::move(entry));
+    }
+  }
+  SetParallelForThreads(0);
+  table.Print(std::cout);
+  std::cout << std::endl;
+}
+
+// (b) Directed fix-round scaling. Every source part holds the same 16
+// keys, so pre-aggregation keeps them all, each key's run spans ~p/16
+// sorted parts, and after the fix almost every part between a run's home
+// and its end is empty. The old per-item backward walk re-scanned those
+// parts for every shipped item — O(N·p) on this shape — while the
+// boundary-summary fix round is O(N + p): wall time per item must stay
+// flat as p grows.
+void RunFixRoundSweep(std::vector<bench::BenchJsonEntry>* json_entries) {
+  std::cout << "ReduceByKey on replicated-key shapes (16 shared keys, 1 "
+               "item/key/part, threads=1;\nus/item must stay flat in p):\n";
+  SetParallelForThreads(1);  // isolate the algorithmic effect
+  TablePrinter table({"p", "n", "reps", "wall_ms", "us_per_item"});
+  for (int p : {64, 128, 256, 512}) {
+    const std::int64_t keys = 16;
+    const std::int64_t n = keys * p;
+    const int reps = 50;
+    mpc::Dist<std::pair<std::int64_t, std::int64_t>> input(p);
+    for (int s = 0; s < p; ++s) {
+      for (std::int64_t k = 0; k < keys; ++k) {
+        input.part(s).emplace_back(k, s);
+      }
+    }
+    bench::RunResult result;
+    Stopwatch watch;
+    for (int rep = 0; rep < reps; ++rep) {
+      mpc::Cluster c(p);
+      auto out = mpc::ReduceByKey(
+          c, input, [](const auto& kv) { return kv.first; },
+          [](auto* acc, const auto& kv) { acc->second += kv.second; });
+      CHECK_EQ(static_cast<std::int64_t>(out.TotalSize()), keys);
+      result.load = c.stats().max_load;
+      result.rounds = c.stats().rounds;
+      result.total_comm = c.stats().total_comm;
+      result.critical_path = c.stats().critical_path;
+    }
+    result.wall_ms = watch.ElapsedMillis();
+    const double us_per_item =
+        result.wall_ms * 1000.0 / static_cast<double>(n * reps);
+    table.AddRow({Fmt(static_cast<std::int64_t>(p)), Fmt(n),
+                  Fmt(static_cast<std::int64_t>(reps)), Fmt(result.wall_ms),
+                  Fmt(us_per_item)});
+    bench::BenchJsonEntry entry;
+    entry.experiment = "E6";
+    entry.name = "fixround/reduce/p=" + std::to_string(p);
+    entry.n = n;
+    entry.p = p;
+    entry.threads = 1;
+    entry.result = result;
+    json_entries->push_back(std::move(entry));
+  }
+  SetParallelForThreads(0);
+  table.Print(std::cout);
+  std::cout << std::endl;
+}
+
+void RunE6(bool write_json) {
+  bench::PrintHeader(
+      "E6", "final-merge & fix-round ablation",
+      "Pairwise ladder vs splitter multiway merge, and the "
+      "boundary-summary fix round's scaling in p.");
+  std::vector<bench::BenchJsonEntry> entries;
+  RunMergeAblation(&entries);
+  RunFixRoundSweep(&entries);
+  if (!write_json) return;
+  const std::string json_path = bench::BenchJsonPath();
+  std::string error;
+  if (bench::UpdateBenchJson(json_path, "E6", entries, &error)) {
+    std::cout << "wrote " << entries.size() << " E6 entries to " << json_path
+              << "\n";
+  } else {
+    std::cerr << "BENCH json: " << error << "\n";
+  }
+}
+
 }  // namespace
 }  // namespace parjoin
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == std::string("--e6-only")) {
+      // CI smoke mode: just the merge/fix-round ablation and its JSON.
+      parjoin::RunE6(/*write_json=*/true);
+      return 0;
+    }
+  }
   parjoin::bench::PrintHeader(
       "E10", "§2.1 primitive costs",
       "Thread scaling, linear-load table, then micro throughput.");
@@ -271,6 +413,7 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "BENCH json: " << error << "\n";
   }
+  parjoin::RunE6(/*write_json=*/true);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -160,7 +160,7 @@ DistRelation<S> HyperCubeJoinAggregate(mpc::Cluster& cluster,
   DistRelation<S> out;
   out.schema = Schema(outputs);
   out.data = mpc::ReduceByKey(
-      cluster, partials,
+      cluster, std::move(partials),
       [](const Tuple<S>& t) -> const Row& { return t.row; },
       [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
       p);

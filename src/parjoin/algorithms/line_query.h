@@ -57,7 +57,8 @@ DistRelation<S> CombineResults(mpc::Cluster& cluster, DistRelation<S> a,
   DistRelation<S> out;
   out.schema = a.schema;
   out.data = mpc::ReduceByKey(
-      cluster, merged, [](const Tuple<S>& t) -> const Row& { return t.row; },
+      cluster, std::move(merged),
+      [](const Tuple<S>& t) -> const Row& { return t.row; },
       [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
       cluster.p());
   return out;

@@ -87,7 +87,7 @@ DistRelation<S> LinearSparseMM(mpc::Cluster& cluster,
   DistRelation<S> out;
   out.schema = Schema{m.a, m.c};
   out.data = mpc::ReduceByKey(
-      cluster, partials,
+      cluster, std::move(partials),
       [](const Tuple<S>& t) -> const Row& { return t.row; },
       [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
       p);
@@ -341,7 +341,7 @@ DistRelation<S> MatMulOutputSensitive(mpc::Cluster& cluster,
                                           r2_routed.part(v), sink);
   });
   mpc::Dist<Tuple<S>> reduced = mpc::ReduceByKey(
-      cluster, partials,
+      cluster, std::move(partials),
       [](const Tuple<S>& t) -> const Row& { return t.row; },
       [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
       p);

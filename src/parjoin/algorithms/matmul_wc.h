@@ -306,7 +306,7 @@ DistRelation<S> MatMulWorstCase(mpc::Cluster& cluster,
   });
 
   mpc::Dist<Tuple<S>> reduced = mpc::ReduceByKey(
-      cluster, partials,
+      cluster, std::move(partials),
       [](const Tuple<S>& t) -> const Row& { return t.row; },
       [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
       p);

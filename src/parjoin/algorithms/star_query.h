@@ -68,7 +68,8 @@ DistRelation<S> ReduceUnion(mpc::Cluster& cluster,
   DistRelation<S> out;
   out.schema = schema;
   out.data = mpc::ReduceByKey(
-      cluster, merged, [](const Tuple<S>& t) -> const Row& { return t.row; },
+      cluster, std::move(merged),
+      [](const Tuple<S>& t) -> const Row& { return t.row; },
       [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); },
       cluster.p());
   return out;

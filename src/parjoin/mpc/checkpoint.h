@@ -8,6 +8,13 @@
 // crash the executor restores from the snapshot onto the shrunken live set
 // — partition v re-hosted on server v mod p() — which is again a charged
 // round, since the surviving replicas must be shipped to their new hosts.
+//
+// A single-partition Dist has no neighbor: (v+1) mod 1 is v itself, and a
+// self-copy both violates the no-own-backup invariant and is useless after
+// the only server fails. CheckpointDist marks such snapshots unrecoverable
+// and charges nothing; RestoreDist refuses them (CHECK). Crashes cannot
+// fire at p = 1 anyway — the cluster never shrinks its last live server —
+// so the executor can still run, just without checkpoint protection.
 
 #ifndef PARJOIN_MPC_CHECKPOINT_H_
 #define PARJOIN_MPC_CHECKPOINT_H_
@@ -26,20 +33,28 @@ namespace mpc {
 template <typename T>
 struct DistSnapshot {
   std::vector<std::vector<T>> parts;
+  // False when no neighbor replica exists (fewer than two partitions):
+  // the snapshot cannot survive the failure of its only host, so
+  // RestoreDist refuses it.
+  bool recoverable = true;
 };
 
 // Replicates every partition of `d` to its neighbor and returns the
 // snapshot. Charges one recovery round: server (v+1) mod parts receives
-// |part v| tuples.
+// |part v| tuples. With fewer than two partitions there is no neighbor:
+// the snapshot is recorded as unrecoverable and no self-copy is charged.
 template <typename T>
 DistSnapshot<T> CheckpointDist(Cluster& cluster, const Dist<T>& d) {
   const int n = d.num_parts();
   DistSnapshot<T> snap;
   snap.parts.reserve(static_cast<std::size_t>(n));
-  std::vector<std::int64_t> received(static_cast<std::size_t>(std::max(n, 1)),
-                                     0);
+  for (int v = 0; v < n; ++v) snap.parts.push_back(d.part(v));
+  if (n < 2) {
+    snap.recoverable = false;
+    return snap;
+  }
+  std::vector<std::int64_t> received(static_cast<std::size_t>(n), 0);
   for (int v = 0; v < n; ++v) {
-    snap.parts.push_back(d.part(v));
     received[static_cast<std::size_t>((v + 1) % n)] +=
         static_cast<std::int64_t>(d.part(v).size());
   }
@@ -52,6 +67,9 @@ DistSnapshot<T> CheckpointDist(Cluster& cluster, const Dist<T>& d) {
 // replicas to their (possibly new) hosts.
 template <typename T>
 Dist<T> RestoreDist(Cluster& cluster, const DistSnapshot<T>& snap) {
+  CHECK(snap.recoverable)
+      << "restoring a single-partition snapshot: no neighbor replica "
+         "survives its only host";
   const int live = cluster.p();
   std::vector<std::vector<T>> parts(static_cast<std::size_t>(live));
   std::vector<std::int64_t> received(static_cast<std::size_t>(live), 0);

@@ -78,7 +78,8 @@ DistRelation<S> AggregateByAttrs(mpc::Cluster& cluster,
   DistRelation<S> out;
   out.schema = Schema(group_attrs);
   out.data = mpc::ReduceByKey(
-      cluster, projected, [](const Tuple<S>& t) -> const Row& { return t.row; },
+      cluster, std::move(projected),
+      [](const Tuple<S>& t) -> const Row& { return t.row; },
       [](Tuple<S>* acc, const Tuple<S>& t) { acc->w = S::Plus(acc->w, t.w); });
   return out;
 }
@@ -101,7 +102,8 @@ mpc::Dist<ValueCount> DegreesByAttr(mpc::Cluster& cluster,
     }
   }
   return mpc::ReduceByKey(
-      cluster, counts, [](const ValueCount& vc) { return vc.value; },
+      cluster, std::move(counts),
+      [](const ValueCount& vc) { return vc.value; },
       [](ValueCount* acc, const ValueCount& vc) { acc->count += vc.count; });
 }
 

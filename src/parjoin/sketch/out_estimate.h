@@ -123,7 +123,8 @@ OutEstimate EstimateChainOut(mpc::Cluster& cluster,
         }
       }
       sketches = mpc::ReduceByKey(
-          cluster, seeded, [](const KeyedKmv& kk) { return kk.key; },
+          cluster, std::move(seeded),
+          [](const KeyedKmv& kk) { return kk.key; },
           [](KeyedKmv* acc, const KeyedKmv& kk) { acc->kmv.Merge(kk.kmv); });
     }
 
@@ -169,7 +170,8 @@ OutEstimate EstimateChainOut(mpc::Cluster& cluster,
       }
       level_join[static_cast<size_t>(i)].push_back(join_size);
       sketches = mpc::ReduceByKey(
-          cluster, emitted, [](const KeyedKmv& kk) { return kk.key; },
+          cluster, std::move(emitted),
+          [](const KeyedKmv& kk) { return kk.key; },
           [](KeyedKmv* acc, const KeyedKmv& kk) { acc->kmv.Merge(kk.kmv); });
     }
 

@@ -44,6 +44,7 @@ mpc::Dist<KV> MakeInput(std::int64_t n, std::int64_t keys, int parts) {
 
 struct PrimitiveTrace {
   std::vector<std::vector<KV>> sorted;
+  std::vector<std::vector<KV>> grouped;
   std::vector<std::vector<KV>> exchanged;
   std::vector<std::vector<KV>> reduced;
   mpc::Cluster::Stats stats;
@@ -60,6 +61,9 @@ PrimitiveTrace RunPrimitives(int threads) {
   trace.sorted = mpc::Sort(c, input, [](const KV& a, const KV& b) {
                    return a.first < b.first;
                  }).parts();
+  trace.grouped = mpc::SortGroupedByKey(c, input, [](const KV& kv) {
+                    return kv.first;
+                  }).parts();
   trace.exchanged = mpc::Exchange(c, input, p, [p](const KV& kv) {
                       return static_cast<int>(
                           Mix64(static_cast<std::uint64_t>(kv.first)) %
@@ -76,15 +80,17 @@ PrimitiveTrace RunPrimitives(int threads) {
 TEST(DeterminismTest, PrimitivesMatchSequentialBitForBit) {
   ThreadOverrideGuard guard;
   const PrimitiveTrace sequential = RunPrimitives(1);
-  for (int threads : {2, 3, 7}) {
+  for (int threads : {2, 3, 4, 7, 8}) {
     const PrimitiveTrace threaded = RunPrimitives(threads);
     EXPECT_EQ(threaded.sorted, sequential.sorted) << "threads=" << threads;
+    EXPECT_EQ(threaded.grouped, sequential.grouped) << "threads=" << threads;
     EXPECT_EQ(threaded.exchanged, sequential.exchanged)
         << "threads=" << threads;
     EXPECT_EQ(threaded.reduced, sequential.reduced) << "threads=" << threads;
     EXPECT_EQ(threaded.stats.rounds, sequential.stats.rounds);
     EXPECT_EQ(threaded.stats.max_load, sequential.stats.max_load);
     EXPECT_EQ(threaded.stats.total_comm, sequential.stats.total_comm);
+    EXPECT_EQ(threaded.stats.critical_path, sequential.stats.critical_path);
   }
 }
 

@@ -339,6 +339,65 @@ TEST(CheckpointTest, SnapshotAndRestoreRehostOntoLiveServers) {
   EXPECT_EQ(restored.part(1), (std::vector<int>{1, 1, 1}));
 }
 
+TEST(CheckpointTest, SinglePartitionSnapshotIsUnrecoverableAndFree) {
+  // (v+1) mod 1 is v itself: with one partition there is no neighbor to
+  // hold the backup, so the snapshot is marked unrecoverable and no
+  // useless self-copy is charged.
+  mpc::Cluster cluster(1);
+  mpc::Dist<int> d(std::vector<std::vector<int>>{{1, 2, 3}});
+  const mpc::DistSnapshot<int> snap = mpc::CheckpointDist(cluster, d);
+  EXPECT_FALSE(snap.recoverable);
+  ASSERT_EQ(snap.parts.size(), 1u);
+  EXPECT_EQ(snap.parts[0], (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(cluster.stats().rounds, 0);
+  EXPECT_EQ(cluster.stats().recovery_comm, 0);
+  EXPECT_EQ(cluster.stats().total_comm, 0);
+}
+
+TEST(CheckpointDeathTest, RestoringUnrecoverableSnapshotDies) {
+  mpc::Cluster cluster(1);
+  const mpc::DistSnapshot<int> snap = mpc::CheckpointDist(
+      cluster, mpc::Dist<int>(std::vector<std::vector<int>>{{4, 5}}));
+  EXPECT_DEATH(mpc::RestoreDist(cluster, snap),
+               "single-partition snapshot");
+}
+
+TEST(FaultRecoveryTest, SingleServerClusterNeverCrashes) {
+  // Crash-at-p=1 regression: the cluster never fells its last live
+  // server, so an armed crash schedule must not fire, shrink p, or
+  // abort any round.
+  mpc::Cluster cluster(1);
+  mpc::FaultConfig config;
+  config.seed = FaultSeed();
+  config.crashes = 3;
+  config.stragglers = 0;
+  config.corruptions = 0;
+  config.horizon = 4;
+  cluster.EnableFaults(config);
+  for (int r = 0; r < 6; ++r) cluster.ChargeUniformRound(5);
+  EXPECT_EQ(cluster.p(), 1);
+  EXPECT_EQ(cluster.stats().crashes, 0);
+  EXPECT_EQ(cluster.stats().rounds, 6);
+}
+
+TEST(FaultRecoveryTest, SingleServerPlanAndRunCompletesWithFaultsArmed) {
+  // End-to-end p=1: the executor's checkpoint is unrecoverable (and free
+  // of charge), and execution completes because crashes cannot fire.
+  mpc::Cluster cluster(1);
+  auto instance = GenMatMulBlocks<S>(
+      cluster, MatMulBlockConfig::FromTargets(500, 128, 2));
+  Relation<S> expected = EvaluateReference(instance);
+  auto exec = plan::PlanAndRun(cluster, std::move(instance),
+                               plan::PlannerOptions{}, FaultedOptions());
+  Relation<S> got = exec.result.ToLocal();
+  got.Normalize();
+  EXPECT_TRUE(got == expected)
+      << "got " << got.size() << " expected " << expected.size();
+  EXPECT_EQ(cluster.p(), 1);
+  EXPECT_EQ(exec.plan.recovery.crashes, 0);
+  EXPECT_EQ(exec.plan.recovery.attempts, 1);
+}
+
 // --- load-budget guardrail ----------------------------------------------------
 
 TEST(LoadBudgetTest, ExceededBudgetDegradesOntoYannakakis) {

@@ -5,12 +5,15 @@
 #include "parjoin/mpc/primitives.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "parjoin/common/parallel_for.h"
 #include "parjoin/common/random.h"
 #include "parjoin/mpc/cluster.h"
 #include "parjoin/mpc/dist.h"
@@ -365,6 +368,321 @@ TEST(MultiSearchTest, FindsPredecessors) {
   std::vector<std::int64_t> xs = {5, 10, 15, 25, 35};
   auto pred = MultiSearch(c, xs, ys);
   EXPECT_EQ(pred, (std::vector<std::int64_t>{kNoPredecessor, 10, 10, 20, 30}));
+}
+
+// --- Splitter merge ---------------------------------------------------------
+
+// Restores the default thread count when a test exits.
+struct ThreadOverrideGuard {
+  ~ThreadOverrideGuard() { SetParallelForThreads(0); }
+};
+
+TEST(SortTest, SplitterMergeMatchesPairwiseLadder) {
+  // Provenance-tagged items: keys carry many duplicates and the tag
+  // encodes (run, position), so any stability violation — a tie resolved
+  // to the wrong run, or reordering within a run — changes the output.
+  using Tagged = std::pair<std::int64_t, std::int64_t>;
+  const auto by_key = [](const Tagged& a, const Tagged& b) {
+    return a.first < b.first;
+  };
+  Rng rng(11);
+  std::vector<std::vector<Tagged>> runs(7);
+  for (int r = 0; r < 7; ++r) {
+    const int len = r == 3 ? 0 : 2000 + 700 * r;  // skewed, one run empty
+    auto& run = runs[static_cast<size_t>(r)];
+    for (int i = 0; i < len; ++i) {
+      run.push_back({rng.Uniform(0, 199), r * 1000000 + i});
+    }
+    std::stable_sort(run.begin(), run.end(), by_key);
+  }
+  const auto pairwise =
+      internal_primitives::MergeSortedRunsPairwise(runs, by_key);
+  ThreadOverrideGuard guard;
+  SetParallelForThreads(4);  // total > kSplitterMergeMinTotal: splitter path
+  const auto splitter = internal_primitives::MergeSortedRuns(runs, by_key);
+  ASSERT_EQ(splitter.size(), pairwise.size());
+  EXPECT_EQ(splitter, pairwise);
+  for (size_t i = 1; i < splitter.size(); ++i) {
+    ASSERT_LE(splitter[i - 1].first, splitter[i].first)
+        << "not sorted at " << i;
+    if (splitter[i - 1].first == splitter[i].first) {
+      ASSERT_LT(splitter[i - 1].second, splitter[i].second)
+          << "tie broken against run order at " << i;
+    }
+  }
+}
+
+// --- Zero-weight packing ----------------------------------------------------
+
+TEST(ParallelPackingTest, ZeroWeightItemsRideAlongWithoutNewGroups) {
+  Cluster c(2);
+  std::vector<PackedItem> items = {{0, 0.6, -1}, {1, 0.0, -1}, {2, 0.4, -1},
+                                   {3, 0.0, -1}, {4, 0.3, -1}, {5, 0.0, -1}};
+  const double total = 0.6 + 0.4 + 0.3;
+  auto packed = ParallelPacking(c, items);
+  std::map<int, double> group_sum;
+  for (const auto& it : packed) {
+    ASSERT_GE(it.group, 0) << "item " << it.id << " left unassigned";
+    group_sum[it.group] += it.weight;
+  }
+  for (const auto& [g, sum] : group_sum) EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_LE(static_cast<double>(group_sum.size()), 1 + 2 * total)
+      << "zero-weight items must not open groups of their own";
+}
+
+TEST(ParallelPackingTest, AllZeroWeightsShareOneGroup) {
+  // m <= 1 + 2*sum(w) forces a single group when every weight is zero.
+  Cluster c(2);
+  std::vector<PackedItem> items = {{0, 0.0, -1}, {1, 0.0, -1}, {2, 0.0, -1}};
+  auto packed = ParallelPacking(c, items);
+  ASSERT_EQ(packed.size(), 3u);
+  for (const auto& it : packed) EXPECT_EQ(it.group, 0);
+}
+
+// --- Consuming ReduceByKey overload -----------------------------------------
+
+TEST(ReduceByKeyTest, ConsumingOverloadMatchesCopyingOverload) {
+  Rng rng(9);
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  for (int i = 0; i < 600; ++i) {
+    items.emplace_back(rng.Uniform(0, 29), rng.Uniform(1, 9));
+  }
+  auto in = ScatterEvenly(std::move(items), 5);
+  const auto snapshot = in.parts();
+  const auto key = [](const auto& kv) { return kv.first; };
+  const auto add = [](auto* acc, const auto& kv) { acc->second += kv.second; };
+  Cluster c_copy(5);
+  auto copied = ReduceByKey(c_copy, in, key, add);
+  EXPECT_EQ(in.parts(), snapshot) << "copying overload must keep input intact";
+  Cluster c_move(5);
+  auto moved = ReduceByKey(c_move, std::move(in), key, add);
+  EXPECT_EQ(moved.parts(), copied.parts());
+  EXPECT_EQ(c_move.stats().rounds, c_copy.stats().rounds);
+  EXPECT_EQ(c_move.stats().max_load, c_copy.stats().max_load);
+  EXPECT_EQ(c_move.stats().total_comm, c_copy.stats().total_comm);
+  EXPECT_EQ(c_move.stats().critical_path, c_copy.stats().critical_path);
+}
+
+// --- Adversarial fix-round shapes -------------------------------------------
+//
+// Executable specification for both fix rounds, stated per item of the
+// globally sorted array: an item's run home is the part (under
+// ScatterEvenly's ceil(n/num_parts) chunking) holding the first element of
+// its equal-key run; every item placed outside its run home charges one
+// unit to the home; SortGroupedByKey relocates items to their run homes
+// (in global order); ReduceByKey emits one combined item per key at the
+// run home, after per-input-part pre-aggregation. Each shape is checked
+// against this oracle, for charge parity (primitive stats = sort-only
+// stats + exactly the oracle's fix round), and for bit-identical outputs
+// and charges at thread counts 1 vs 4.
+
+using KV = std::pair<std::int64_t, std::int64_t>;
+
+std::int64_t KeyOfKV(const KV& kv) { return kv.first; }
+bool KVByKey(const KV& a, const KV& b) { return a.first < b.first; }
+void AddKV(KV* acc, const KV& kv) { acc->second += kv.second; }
+
+struct ShapeTrace {
+  std::vector<std::vector<KV>> grouped;
+  std::vector<std::vector<KV>> reduced;
+  Cluster::Stats grouped_stats;
+  Cluster::Stats reduced_stats;
+};
+
+ShapeTrace RunShape(const std::vector<std::vector<KV>>& input, int p,
+                    int num_parts, int threads) {
+  SetParallelForThreads(threads);
+  ShapeTrace trace;
+  {
+    Cluster c(p);
+    trace.grouped =
+        SortGroupedByKey(c, Dist<KV>(input), KeyOfKV, num_parts).parts();
+    trace.grouped_stats = c.stats();
+  }
+  {
+    Cluster c(p);
+    trace.reduced =
+        ReduceByKey(c, Dist<KV>(input), KeyOfKV, AddKV, num_parts).parts();
+    trace.reduced_stats = c.stats();
+  }
+  return trace;
+}
+
+struct FixOracle {
+  std::vector<std::vector<KV>> grouped;
+  std::vector<std::vector<KV>> reduced;
+  std::vector<std::int64_t> grouped_received;
+  std::vector<std::int64_t> reduced_received;
+  std::vector<std::vector<KV>> pre_parts;  // pre-aggregated input per part
+};
+
+FixOracle ComputeFixOracle(const std::vector<std::vector<KV>>& input,
+                           int num_parts) {
+  FixOracle o;
+  o.grouped.resize(static_cast<size_t>(num_parts));
+  o.reduced.resize(static_cast<size_t>(num_parts));
+  o.grouped_received.assign(static_cast<size_t>(num_parts), 0);
+  o.reduced_received.assign(static_cast<size_t>(num_parts), 0);
+
+  std::vector<KV> all;
+  for (const auto& part : input) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::stable_sort(all.begin(), all.end(), KVByKey);
+  {
+    const std::int64_t n = static_cast<std::int64_t>(all.size());
+    const std::int64_t chunk = (n + num_parts - 1) / num_parts;
+    std::int64_t i = 0;
+    while (i < n) {
+      std::int64_t j = i;
+      while (j < n && all[static_cast<size_t>(j)].first ==
+                          all[static_cast<size_t>(i)].first) {
+        ++j;
+      }
+      const std::int64_t home = i / chunk;
+      for (std::int64_t t = i; t < j; ++t) {
+        o.grouped[static_cast<size_t>(home)].push_back(
+            all[static_cast<size_t>(t)]);
+        if (t / chunk != home) ++o.grouped_received[static_cast<size_t>(home)];
+      }
+      i = j;
+    }
+  }
+
+  o.pre_parts.resize(input.size());
+  std::vector<KV> pre_all;
+  for (size_t s = 0; s < input.size(); ++s) {
+    std::vector<KV> local = input[s];
+    std::stable_sort(local.begin(), local.end(), KVByKey);
+    auto& dst = o.pre_parts[s];
+    for (const auto& kv : local) {
+      if (!dst.empty() && dst.back().first == kv.first) {
+        dst.back().second += kv.second;
+      } else {
+        dst.push_back(kv);
+      }
+    }
+    pre_all.insert(pre_all.end(), dst.begin(), dst.end());
+  }
+  std::stable_sort(pre_all.begin(), pre_all.end(), KVByKey);
+  {
+    const std::int64_t n = static_cast<std::int64_t>(pre_all.size());
+    const std::int64_t chunk = (n + num_parts - 1) / num_parts;
+    std::int64_t i = 0;
+    while (i < n) {
+      std::int64_t j = i;
+      KV folded = pre_all[static_cast<size_t>(i)];
+      while (++j < n && pre_all[static_cast<size_t>(j)].first == folded.first) {
+        folded.second += pre_all[static_cast<size_t>(j)].second;
+      }
+      const std::int64_t home = i / chunk;
+      o.reduced[static_cast<size_t>(home)].push_back(folded);
+      for (std::int64_t t = i; t < j; ++t) {
+        if (t / chunk != home) ++o.reduced_received[static_cast<size_t>(home)];
+      }
+      i = j;
+    }
+  }
+  return o;
+}
+
+Cluster::Stats SortOnlyStats(const std::vector<std::vector<KV>>& parts, int p,
+                             int num_parts) {
+  Cluster c(p);
+  Sort(c, Dist<KV>(parts), KVByKey, num_parts);
+  return c.stats();
+}
+
+// got must be sort_only plus exactly one fix round receiving `fix`
+// (virtual-part loads, folded v mod p onto physical servers).
+void ExpectSortPlusFixRound(const Cluster::Stats& got,
+                            const Cluster::Stats& sort_only,
+                            const std::vector<std::int64_t>& fix, int p) {
+  std::vector<std::int64_t> physical(static_cast<size_t>(p), 0);
+  for (size_t v = 0; v < fix.size(); ++v) {
+    physical[v % static_cast<size_t>(p)] += fix[v];
+  }
+  std::int64_t fix_max = 0;
+  std::int64_t fix_total = 0;
+  for (std::int64_t load : physical) {
+    fix_max = std::max(fix_max, load);
+    fix_total += load;
+  }
+  EXPECT_EQ(got.rounds, sort_only.rounds + 1);
+  EXPECT_EQ(got.total_comm, sort_only.total_comm + fix_total);
+  EXPECT_EQ(got.max_load, std::max(sort_only.max_load, fix_max));
+  EXPECT_EQ(got.critical_path, sort_only.critical_path + fix_max);
+}
+
+void ExpectStatsEq(const Cluster::Stats& a, const Cluster::Stats& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.total_comm, b.total_comm);
+  EXPECT_EQ(a.critical_path, b.critical_path);
+}
+
+void ExpectShapeMatchesOracleAndThreads(
+    const std::vector<std::vector<KV>>& input, int p, int num_parts) {
+  ThreadOverrideGuard guard;
+  const int resolved = num_parts == 0 ? p : num_parts;
+  const ShapeTrace seq = RunShape(input, p, num_parts, 1);
+  const ShapeTrace par = RunShape(input, p, num_parts, 4);
+  SetParallelForThreads(0);
+  EXPECT_EQ(par.grouped, seq.grouped) << "grouped output varies with threads";
+  EXPECT_EQ(par.reduced, seq.reduced) << "reduced output varies with threads";
+  ExpectStatsEq(par.grouped_stats, seq.grouped_stats);
+  ExpectStatsEq(par.reduced_stats, seq.reduced_stats);
+  const FixOracle oracle = ComputeFixOracle(input, resolved);
+  EXPECT_EQ(seq.grouped, oracle.grouped);
+  EXPECT_EQ(seq.reduced, oracle.reduced);
+  ExpectSortPlusFixRound(seq.grouped_stats, SortOnlyStats(input, p, num_parts),
+                         oracle.grouped_received, p);
+  ExpectSortPlusFixRound(seq.reduced_stats,
+                         SortOnlyStats(oracle.pre_parts, p, num_parts),
+                         oracle.reduced_received, p);
+}
+
+TEST(FixRoundShapesTest, KeyRunsSpanningManyParts) {
+  // 3 keys over 240 items on p=8 (chunk 30): every run covers >2 parts.
+  Rng rng(21);
+  std::vector<KV> items;
+  for (int i = 0; i < 240; ++i) items.emplace_back(rng.Uniform(0, 2), i);
+  auto in = ScatterEvenly(std::move(items), 8);
+  ExpectShapeMatchesOracleAndThreads(in.parts(), 8, 0);
+}
+
+TEST(FixRoundShapesTest, MostlyEmptyLeadingInputParts) {
+  // Input parts 0..5 empty; a dominant smallest key re-empties most
+  // leading output parts after the fix (the shape whose per-item backward
+  // walk used to be O(N*p)).
+  std::vector<std::vector<KV>> input(8);
+  for (int i = 0; i < 150; ++i) input[6].emplace_back(1, i);
+  for (int i = 0; i < 30; ++i) input[7].emplace_back(2 + i % 5, 1000 + i);
+  ExpectShapeMatchesOracleAndThreads(input, 8, 0);
+}
+
+TEST(FixRoundShapesTest, AllOneKeyCollapsesToOnePart) {
+  std::vector<KV> items;
+  for (int i = 0; i < 64; ++i) items.emplace_back(7, i);
+  auto in = ScatterEvenly(std::move(items), 8);
+  ExpectShapeMatchesOracleAndThreads(in.parts(), 8, 0);
+}
+
+TEST(FixRoundShapesTest, NumPartsAboveClusterP) {
+  // 16 virtual parts on 4 physical servers: charges fold v mod p.
+  Rng rng(31);
+  std::vector<KV> items;
+  for (int i = 0; i < 400; ++i) items.emplace_back(rng.Uniform(0, 9), i);
+  auto in = ScatterEvenly(std::move(items), 4);
+  ExpectShapeMatchesOracleAndThreads(in.parts(), 4, 16);
+}
+
+TEST(FixRoundShapesTest, NumPartsBelowClusterP) {
+  Rng rng(33);
+  std::vector<KV> items;
+  for (int i = 0; i < 300; ++i) items.emplace_back(rng.Uniform(0, 5), i);
+  auto in = ScatterEvenly(std::move(items), 8);
+  ExpectShapeMatchesOracleAndThreads(in.parts(), 8, 3);
 }
 
 }  // namespace
