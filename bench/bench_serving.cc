@@ -1,0 +1,220 @@
+// E7 — the serving runtime: sustained throughput, latency, and the value
+// of the plan cache.
+//
+// A parjoind Server registers four relations once (Distribute + KMV
+// sketches at registration), then serves a seeded mixed workload of three
+// query shapes (matmul, line, star) — 60 queries, each shape repeated —
+// in two admission configurations:
+//   fifo     one query per batch (load_budget 0): strict serial FIFO
+//   batched  admission-controlled batches against a predicted-load budget
+//
+// Reported per configuration: sustained queries/sec, p50/p99 latency,
+// plan-cache hit rate, and mean cold (estimation pass) vs. warm (cache
+// hit) planning time. The first query of each shape plans cold; every
+// repeat hits the cache, so the hit rate is (queries - shapes) / queries
+// and warm planning must be orders of magnitude below cold.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "parjoin/common/parallel_for.h"
+#include "parjoin/common/random.h"
+#include "parjoin/common/stopwatch.h"
+#include "parjoin/common/table_printer.h"
+#include "parjoin/serve/server.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+constexpr int kP = 16;
+constexpr std::uint64_t kSeed = 42;
+
+// Registers the four shared relations: ab(0,1), bc(1,2), cd(2,3), bd(1,3)
+// — enough to express all three query shapes over the same registry.
+std::int64_t RegisterRelations(serve::Server<S>& server) {
+  Rng rng(kSeed);
+  std::int64_t total = 0;
+  const auto add = [&](const char* name, AttrId u, AttrId v,
+                       std::int64_t count, std::int64_t dom_u,
+                       std::int64_t dom_v) {
+    Relation<S> rel = internal_workload::RandomBinaryRelation<S>(
+        Schema{u, v}, count, dom_u, dom_v, /*skew_v=*/0.4,
+        /*max_weight=*/10, rng);
+    total += rel.size();
+    CHECK_OK(server.RegisterRelation(name, std::move(rel)));
+  };
+  add("ab", 0, 1, 4000, 600, 200);
+  add("bc", 1, 2, 4000, 200, 600);
+  add("cd", 2, 3, 4000, 600, 200);
+  add("bd", 1, 3, 4000, 200, 200);
+  return total;
+}
+
+serve::QuerySpec MakeSpec(const std::vector<serve::SpecEdge>& edges,
+                          const std::vector<AttrId>& outputs) {
+  serve::QuerySpec spec;
+  spec.p = kP;
+  spec.edges = edges;
+  spec.outputs = outputs;
+  return spec;
+}
+
+struct Shape {
+  std::string name;
+  serve::QuerySpec spec;
+  int repeat = 20;
+};
+
+std::vector<Shape> MixedWorkload() {
+  std::vector<Shape> shapes;
+  shapes.push_back({"matmul",
+                    MakeSpec({{0, 1, "@ab"}, {1, 2, "@bc"}}, {0, 2}), 20});
+  shapes.push_back(
+      {"line",
+       MakeSpec({{0, 1, "@ab"}, {1, 2, "@bc"}, {2, 3, "@cd"}}, {0, 3}),
+       20});
+  shapes.push_back(
+      {"star",
+       MakeSpec({{0, 1, "@ab"}, {1, 2, "@bc"}, {1, 3, "@bd"}}, {0, 2, 3}),
+       20});
+  return shapes;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace
+}  // namespace parjoin
+
+int main() {
+  using namespace parjoin;
+  bench::PrintHeader(
+      "E7", "serving runtime (parjoind)",
+      "Mixed 3-shape x 60-query workload through the Server: plan cache, "
+      "cost-ticket admission control, per-query isolation.");
+
+  struct Config {
+    std::string name;
+    double load_budget;
+  };
+  std::vector<Config> configs = {{"fifo", 0}, {"batched", 30000}};
+
+  std::vector<bench::BenchJsonEntry> json_entries;
+  TablePrinter table({"config", "queries", "failed", "batches", "qps",
+                      "p50_ms", "p99_ms", "hit_rate", "cold_plan_ms",
+                      "warm_plan_ms"});
+  for (const Config& cfg : configs) {
+    serve::ServerOptions options;
+    options.p = kP;
+    options.seed = kSeed;
+    options.load_budget = cfg.load_budget;
+    serve::Server<S> server(options);
+    const std::int64_t n = RegisterRelations(server);
+
+    std::int64_t enqueued = 0;
+    for (const auto& shape : MixedWorkload()) {
+      for (int rep = 0; rep < shape.repeat; ++rep) {
+        CHECK_OK(server.Enqueue(shape.spec,
+                                shape.name + "#" + std::to_string(rep)));
+        ++enqueued;
+      }
+    }
+
+    Stopwatch clock;
+    const auto outcomes = server.Drain();
+    const double drain_s = clock.ElapsedSeconds();
+
+    std::vector<double> latencies;
+    std::int64_t max_load = 0;
+    std::int64_t total_comm = 0;
+    std::int64_t critical_path = 0;
+    std::int64_t recovery_comm = 0;
+    int rounds = 0;
+    for (const auto& out : outcomes) {
+      latencies.push_back(out.latency_ms);
+      const auto& xs = out.plan.execution_stats;
+      max_load = std::max(max_load, xs.max_load);
+      total_comm += xs.total_comm;
+      critical_path += xs.critical_path;
+      recovery_comm += xs.recovery_comm;
+      rounds += xs.rounds;
+    }
+    const auto& m = server.metrics();
+    const double qps =
+        drain_s > 0 ? static_cast<double>(outcomes.size()) / drain_s : 0;
+    const double p50 = Percentile(latencies, 0.50);
+    const double p99 = Percentile(latencies, 0.99);
+    const double cold_ms =
+        m.cold_plans > 0
+            ? m.cold_plan_ms_total / static_cast<double>(m.cold_plans)
+            : 0;
+    const double warm_ms =
+        m.warm_plans > 0
+            ? m.warm_plan_ms_total / static_cast<double>(m.warm_plans)
+            : 0;
+
+    char qps_s[32], p50_s[32], p99_s[32], hit_s[32], cold_s[32], warm_s[32];
+    std::snprintf(qps_s, sizeof(qps_s), "%.1f", qps);
+    std::snprintf(p50_s, sizeof(p50_s), "%.3f", p50);
+    std::snprintf(p99_s, sizeof(p99_s), "%.3f", p99);
+    std::snprintf(hit_s, sizeof(hit_s), "%.3f",
+                  server.plan_cache().HitRate());
+    std::snprintf(cold_s, sizeof(cold_s), "%.3f", cold_ms);
+    std::snprintf(warm_s, sizeof(warm_s), "%.4f", warm_ms);
+    table.AddRow({cfg.name, std::to_string(enqueued),
+                  std::to_string(m.failed), std::to_string(m.batches),
+                  qps_s, p50_s, p99_s, hit_s, cold_s, warm_s});
+
+    bench::BenchJsonEntry entry;
+    entry.experiment = "E7";
+    entry.name = "serving/mixed/" + cfg.name + "/q=" +
+                 std::to_string(enqueued) + "/p=" + std::to_string(kP);
+    entry.n = n;
+    entry.p = kP;
+    entry.threads = ParallelForThreads();
+    entry.result.load = max_load;
+    entry.result.rounds = rounds;
+    entry.result.total_comm = total_comm;
+    entry.result.critical_path = critical_path;
+    entry.result.recovery_comm = recovery_comm;
+    entry.result.wall_ms = drain_s * 1e3;
+    entry.serving.present = true;
+    entry.serving.qps = qps;
+    entry.serving.p50_ms = p50;
+    entry.serving.p99_ms = p99;
+    entry.serving.cache_hit_rate = server.plan_cache().HitRate();
+    entry.serving.cold_plan_ms = cold_ms;
+    entry.serving.warm_plan_ms = warm_ms;
+    json_entries.push_back(entry);
+
+    CHECK_EQ(m.failed, 0) << "E7 workload must serve cleanly";
+    CHECK_GT(server.plan_cache().counters().hits, 0);
+  }
+  table.Print(std::cout);
+  std::cout << std::endl;
+
+  const std::string json_path = bench::BenchJsonPath();
+  std::string error;
+  if (bench::UpdateBenchJson(json_path, "E7", json_entries, &error)) {
+    std::cout << "wrote " << json_entries.size() << " E7 entries to "
+              << json_path << "\n";
+  } else {
+    std::cerr << "BENCH json: " << error << "\n";
+  }
+  return 0;
+}

@@ -48,7 +48,7 @@ std::string FormatEntry(const BenchJsonEntry& e) {
                 "\"n\": %lld, \"p\": %d, \"threads\": %d, "
                 "\"wall_ms\": %.3f, \"max_load\": %lld, \"rounds\": %d, "
                 "\"total_comm\": %lld, \"critical_path\": %lld, "
-                "\"recovery_comm\": %lld}",
+                "\"recovery_comm\": %lld",
                 e.experiment.c_str(), e.name.c_str(),
                 static_cast<long long>(e.n), e.p, e.threads,
                 e.result.wall_ms, static_cast<long long>(e.result.load),
@@ -56,7 +56,19 @@ std::string FormatEntry(const BenchJsonEntry& e) {
                 static_cast<long long>(e.result.total_comm),
                 static_cast<long long>(e.result.critical_path),
                 static_cast<long long>(e.result.recovery_comm));
-  return buf;
+  std::string line = buf;
+  if (e.serving.present) {
+    std::snprintf(buf, sizeof(buf),
+                  ", \"qps\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                  "\"cache_hit_rate\": %.4f, \"cold_plan_ms\": %.3f, "
+                  "\"warm_plan_ms\": %.3f",
+                  e.serving.qps, e.serving.p50_ms, e.serving.p99_ms,
+                  e.serving.cache_hit_rate, e.serving.cold_plan_ms,
+                  e.serving.warm_plan_ms);
+    line += buf;
+  }
+  line += "}";
+  return line;
 }
 
 // Extracts the experiment id from a line previously written by

@@ -44,6 +44,19 @@ void PrintHeader(const std::string& experiment_id,
 // configuration. `name` must be unique within the experiment and must not
 // contain '"' (no escaping is performed).
 
+// Serving-runtime metrics (E7): emitted into the entry only when
+// `present` — entries from non-serving benches keep the original column
+// set, and the schema checker treats these as optional fields.
+struct ServingMetrics {
+  bool present = false;
+  double qps = 0;              // sustained queries per second
+  double p50_ms = 0;           // median query latency
+  double p99_ms = 0;           // tail query latency
+  double cache_hit_rate = 0;   // plan-cache hits / lookups, in [0, 1]
+  double cold_plan_ms = 0;     // mean planning time on cache misses
+  double warm_plan_ms = 0;     // mean plan-retrieval time on cache hits
+};
+
 struct BenchJsonEntry {
   std::string experiment;  // e.g. "E1"
   std::string name;        // e.g. "sort/n=1048576/p=64/threads=4"
@@ -51,6 +64,7 @@ struct BenchJsonEntry {
   int p = 0;               // servers
   int threads = 0;         // ParallelForThreads() at measurement time
   RunResult result;
+  ServingMetrics serving;
 };
 
 // Path of the trajectory file: $PARJOIN_BENCH_JSON if set, else

@@ -1,0 +1,302 @@
+// parjoind: a long-lived query-serving runtime over the MPC simulator.
+//
+// Usage:
+//   example_parjoind [flags] <workload-file>
+//   example_parjoind [flags] --demo[=<dir>]   (write + serve a sample)
+//
+// Flags:
+//   --plan-cache-capacity=<n>    LRU plan cache entries (default 64, >= 1)
+//   --load-budget=<tuples>       admission budget per batch in
+//                                predicted-load units (0 = one query per
+//                                batch; default 0)
+//   --faults=<seed>              arm per-query deterministic fault
+//                                injection
+//   --checkpoint-interval=<r>    replicate state every r rounds (r >= 0)
+//   --load-budget-factor=<f>     per-round guardrail: abort rounds above
+//                                f x predicted load and degrade (f > 0)
+//
+// The workload grammar lives in serve/spec.h: `register` relations once
+// (load + Distribute + KMV sketches at registration), then `query` blocks
+// whose edges reference them by @name. Queries are admitted FIFO with
+// cost-model tickets against the load budget, planned through the plan
+// cache, and executed with per-query isolation: a query that fails under
+// injected faults reports an error and the server serves the next one.
+// Exit codes: 0 served, 1 bad workload/registration, 2 bad flags.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "parjoin/common/status.h"
+#include "parjoin/common/stopwatch.h"
+#include "parjoin/relation/io.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/serve/flags.h"
+#include "parjoin/serve/server.h"
+#include "parjoin/serve/spec.h"
+
+namespace {
+
+using S = parjoin::CountingSemiring;
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--plan-cache-capacity=<n>] [--load-budget=<tuples>]"
+               " [--faults=<seed>] [--checkpoint-interval=<r>]"
+               " [--load-budget-factor=<f>] <workload-file> | --demo[=<dir>]"
+               "\n";
+  return 2;
+}
+
+int RunWorkload(const parjoin::serve::WorkloadSpec& workload,
+                parjoin::serve::ServerOptions server_options) {
+  server_options.p = workload.p;
+  parjoin::serve::Server<S> server(std::move(server_options));
+  if (const parjoin::Status reg = server.RegisterWorkload(workload);
+      !reg.ok()) {
+    std::cerr << "error: " << reg << "\n";
+    return 1;
+  }
+  for (const auto& r : workload.relations) {
+    std::cout << "registered @" << r.name << " from " << r.path << "\n";
+  }
+
+  for (const auto& q : workload.queries) {
+    for (int rep = 0; rep < q.repeat; ++rep) {
+      const std::string label =
+          q.repeat == 1 ? q.label : q.label + "#" + std::to_string(rep);
+      if (const parjoin::Status s = server.Enqueue(q.spec, label);
+          !s.ok()) {
+        std::cerr << "error: " << s << "\n";
+        return 1;
+      }
+    }
+  }
+
+  parjoin::Stopwatch drain_clock;
+  const auto outcomes = server.Drain();
+  const double drain_ms = drain_clock.ElapsedMillis();
+
+  // First successful outcome of each query block writes its result file.
+  std::size_t at = 0;
+  for (const auto& q : workload.queries) {
+    bool written = false;
+    for (int rep = 0; rep < q.repeat; ++rep, ++at) {
+      const auto& out = outcomes[at];
+      std::printf("  %-12s %s batch %d %s plan %.3f ms, latency %.3f ms",
+                  out.label.c_str(), out.status.ok() ? "ok " : "ERR",
+                  out.batch, out.cache_hit ? "warm" : "cold", out.plan_ms,
+                  out.latency_ms);
+      if (out.status.ok()) {
+        std::printf(", %lld tuples\n",
+                    static_cast<long long>(out.result.size()));
+      } else {
+        std::printf(" (%s)\n", out.status.ToString().c_str());
+      }
+      if (!written && out.status.ok() && !q.spec.result_path.empty()) {
+        if (const parjoin::Status saved = parjoin::SaveRelationCsv(
+                q.spec.result_path, out.result);
+            !saved.ok()) {
+          std::cerr << "error: " << saved << "\n";
+          return 1;
+        }
+        written = true;
+      }
+    }
+  }
+
+  const auto& m = server.metrics();
+  const auto& c = server.plan_cache().counters();
+  std::printf(
+      "\nServed %lld/%lld queries (%lld failed) in %d batch(es), "
+      "%.1f ms\n",
+      static_cast<long long>(m.served),
+      static_cast<long long>(m.enqueued),
+      static_cast<long long>(m.failed), m.batches, drain_ms);
+  std::printf(
+      "Plan cache: %lld hit(s), %lld miss(es), %lld eviction(s) "
+      "(hit rate %.2f)\n",
+      static_cast<long long>(c.hits), static_cast<long long>(c.misses),
+      static_cast<long long>(c.evictions),
+      server.plan_cache().HitRate());
+  if (m.cold_plans > 0 && m.warm_plans > 0) {
+    std::printf("Planning: cold %.3f ms avg (%lld), warm %.3f ms avg "
+                "(%lld)\n",
+                m.cold_plan_ms_total / static_cast<double>(m.cold_plans),
+                static_cast<long long>(m.cold_plans),
+                m.warm_plan_ms_total / static_cast<double>(m.warm_plans),
+                static_cast<long long>(m.warm_plans));
+  }
+  return 0;
+}
+
+// Writes a deterministic mixed demo workload: three query shapes (matmul,
+// line, star) over four registered relations, 20 queries total.
+parjoin::StatusOr<std::string> WriteDemoWorkload(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return parjoin::InvalidArgumentError("cannot create demo directory " +
+                                         dir + ": " + ec.message());
+  }
+  {
+    std::ofstream ab(dir + "/r_ab.csv");
+    for (int a = 0; a < 30; ++a) {
+      for (int b = a % 4; b < 12; b += 4) ab << a << "," << b << ",1\n";
+    }
+    std::ofstream bc(dir + "/r_bc.csv");
+    for (int b = 0; b < 12; ++b) {
+      for (int cv = b % 3; cv < 9; cv += 3) {
+        bc << b << "," << cv << "," << (1 + b % 2) << "\n";
+      }
+    }
+    std::ofstream cd(dir + "/r_cd.csv");
+    for (int cv = 0; cv < 9; ++cv) {
+      for (int d = cv % 2; d < 6; d += 2) cd << cv << "," << d << ",1\n";
+    }
+    std::ofstream bd(dir + "/r_bd.csv");
+    for (int b = 0; b < 12; ++b) {
+      for (int d = b % 2; d < 6; d += 2) bd << b << "," << d << ",1\n";
+    }
+  }
+  const std::string path = dir + "/workload.spec";
+  std::ofstream w(path);
+  w << "# mixed demo workload: 3 shapes, 20 queries\n"
+    << "p 8\n"
+    << "register ab " << dir << "/r_ab.csv\n"
+    << "register bc " << dir << "/r_bc.csv\n"
+    << "register cd " << dir << "/r_cd.csv\n"
+    << "register bd " << dir << "/r_bd.csv\n"
+    << "query matmul\n"
+    << "edge 0 1 @ab\n"
+    << "edge 1 2 @bc\n"
+    << "output 0 2\n"
+    << "result " << dir << "/matmul.csv\n"
+    << "repeat 8\n"
+    << "end\n"
+    << "query line\n"
+    << "edge 0 1 @ab\n"
+    << "edge 1 2 @bc\n"
+    << "edge 2 3 @cd\n"
+    << "output 0 3\n"
+    << "repeat 6\n"
+    << "end\n"
+    << "query star\n"
+    << "edge 0 1 @ab\n"
+    << "edge 1 2 @bc\n"
+    << "edge 1 3 @bd\n"
+    << "output 0 2 3\n"
+    << "repeat 6\n"
+    << "end\n";
+  if (!w) {
+    return parjoin::DataLossError("write to " + path + " failed");
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  std::string demo_dir = "/tmp/parjoind_demo";
+  parjoin::serve::ServerOptions server_options;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--demo") {
+      demo = true;
+    } else if (parjoin::serve::MatchFlag(arg, "demo", &value)) {
+      demo = true;
+      demo_dir = value;
+    } else if (parjoin::serve::MatchFlag(arg, "plan-cache-capacity",
+                                         &value)) {
+      auto capacity =
+          parjoin::serve::ParseInt64Flag("plan-cache-capacity", value);
+      if (!capacity.ok() || *capacity < 1 || *capacity > 1000000) {
+        std::cerr << "error: --plan-cache-capacity needs an integer in "
+                     "[1, 1000000], got '"
+                  << value << "'\n";
+        return Usage(argv[0]);
+      }
+      server_options.plan_cache_capacity =
+          static_cast<std::size_t>(*capacity);
+    } else if (parjoin::serve::MatchFlag(arg, "load-budget", &value)) {
+      auto budget = parjoin::serve::ParseDoubleFlag("load-budget", value);
+      if (!budget.ok() || *budget < 0) {
+        std::cerr << "error: --load-budget needs a number >= 0, got '"
+                  << value << "'\n";
+        return Usage(argv[0]);
+      }
+      server_options.load_budget = *budget;
+    } else if (parjoin::serve::MatchFlag(arg, "faults", &value)) {
+      auto seed = parjoin::serve::ParseUint64Flag("faults", value);
+      if (!seed.ok()) {
+        std::cerr << "error: " << seed.status() << "\n";
+        return Usage(argv[0]);
+      }
+      server_options.exec.faults.enabled = true;
+      server_options.exec.faults.seed = *seed;
+      if (server_options.exec.checkpoint_interval == 0) {
+        server_options.exec.checkpoint_interval = 2;
+      }
+    } else if (parjoin::serve::MatchFlag(arg, "checkpoint-interval",
+                                         &value)) {
+      auto interval =
+          parjoin::serve::ParseInt64Flag("checkpoint-interval", value);
+      if (!interval.ok() || *interval < 0 || *interval > 1000000) {
+        std::cerr << "error: --checkpoint-interval needs an integer in "
+                     "[0, 1000000], got '"
+                  << value << "'\n";
+        return Usage(argv[0]);
+      }
+      server_options.exec.checkpoint_interval =
+          static_cast<int>(*interval);
+    } else if (parjoin::serve::MatchFlag(arg, "load-budget-factor",
+                                         &value)) {
+      auto factor =
+          parjoin::serve::ParseDoubleFlag("load-budget-factor", value);
+      if (!factor.ok() || *factor <= 0) {
+        std::cerr << "error: --load-budget-factor needs a number > 0, "
+                     "got '"
+                  << value << "'\n";
+        return Usage(argv[0]);
+      }
+      server_options.exec.load_budget_factor = *factor;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  std::string workload_path;
+  if (demo) {
+    if (!args.empty()) {
+      std::cerr << "error: --demo takes no workload file\n";
+      return Usage(argv[0]);
+    }
+    auto written = WriteDemoWorkload(demo_dir);
+    if (!written.ok()) {
+      std::cerr << "error: " << written.status() << "\n";
+      return 1;
+    }
+    workload_path = *written;
+    std::cout << "Demo workload written to " << workload_path << "\n\n";
+  } else if (args.size() == 1) {
+    workload_path = args[0];
+  } else {
+    return Usage(argv[0]);
+  }
+
+  auto workload = parjoin::serve::ParseWorkloadFile(workload_path);
+  if (!workload.ok()) {
+    std::cerr << "error: " << workload.status() << "\n";
+    return 1;
+  }
+  return RunWorkload(*workload, std::move(server_options));
+}

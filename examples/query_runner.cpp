@@ -2,34 +2,30 @@
 //
 // Usage:
 //   example_query_runner [flags] <spec-file>
-//   example_query_runner --demo        (writes and runs a sample spec)
+//   example_query_runner [flags] --demo[=<dir>]   (write + run a sample)
 //
 // Flags:
 //   --json                       also dump the plan as JSON
 //   --faults=<seed>              deterministic fault injection (crash +
 //                                straggler + corrupted message per run)
-//   --checkpoint-interval=<r>    replicate state every r rounds
+//   --checkpoint-interval=<r>    replicate state every r rounds (r >= 0)
 //   --load-budget-factor=<f>     abort rounds above f x predicted load and
 //                                degrade onto the Yannakakis baseline
+//                                (f > 0)
 //
-// Spec format (one directive per line; '#' comments):
-//   p <servers>                        cluster size (default 16)
-//   edge <attrU> <attrV> <csv-path>    one relation per edge
-//   output <attr> [<attr> ...]         the output attributes y
-//   result <csv-path>                  where to write the result
-//
-// Relations are CSVs of "v1,v2,annotation" rows (counting semiring).
-// The runner plans the query with the cost-based planner (classification,
-// OUT/J estimation, candidate scoring), executes the chosen algorithm via
-// plan::PlanAndRun, prints the plan with predicted vs. measured load (and
-// the recovery report when resilience is on), and writes the aggregated
-// result. Malformed specs and CSVs surface as Status errors and a non-zero
-// exit — never an abort.
+// The spec grammar lives in serve/spec.h (shared with parjoind); this
+// binary accepts CSV-path edge sources only — @name references need a
+// parjoind registry. Relations are CSVs of "v1,v2,annotation" rows
+// (counting semiring). The runner plans the query with the cost-based
+// planner, executes the chosen algorithm via plan::PlanAndRun, prints the
+// plan with predicted vs. measured load (and the recovery report when
+// resilience is on), and writes the aggregated result. Malformed specs
+// and CSVs exit 1 with the offending line; malformed flags exit 2 with
+// usage — never a silent default, never an abort.
 
-#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -37,72 +33,21 @@
 #include "parjoin/plan/executor.h"
 #include "parjoin/relation/io.h"
 #include "parjoin/semiring/semirings.h"
+#include "parjoin/serve/flags.h"
+#include "parjoin/serve/spec.h"
 
 namespace {
 
 using S = parjoin::CountingSemiring;
 
-struct SpecEdge {
-  parjoin::AttrId u = 0;
-  parjoin::AttrId v = 0;
-  std::string path;
-};
-
-struct Spec {
-  int p = 16;
-  std::vector<SpecEdge> edges;
-  std::vector<parjoin::AttrId> outputs;
-  std::string result_path = "result.csv";
-};
-
-parjoin::StatusOr<Spec> ParseSpec(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return parjoin::NotFoundError("cannot open spec " + path);
-  }
-  Spec spec;
-  std::string line;
-  int line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream tokens(line);
-    std::string directive;
-    tokens >> directive;
-    if (directive == "p") {
-      tokens >> spec.p;
-      if (tokens.fail() || spec.p < 1) {
-        return parjoin::InvalidArgumentError(
-            path + ":" + std::to_string(line_number) +
-            ": 'p' needs a positive server count");
-      }
-    } else if (directive == "edge") {
-      SpecEdge e;
-      tokens >> e.u >> e.v >> e.path;
-      if (tokens.fail() || e.path.empty()) {
-        return parjoin::InvalidArgumentError(
-            path + ":" + std::to_string(line_number) +
-            ": 'edge' needs <attrU> <attrV> <csv-path>");
-      }
-      spec.edges.push_back(e);
-    } else if (directive == "output") {
-      parjoin::AttrId a;
-      while (tokens >> a) spec.outputs.push_back(a);
-    } else if (directive == "result") {
-      tokens >> spec.result_path;
-    } else {
-      return parjoin::InvalidArgumentError(
-          path + ":" + std::to_string(line_number) +
-          ": unknown directive '" + directive + "'");
-    }
-  }
-  if (spec.edges.empty()) {
-    return parjoin::InvalidArgumentError("spec has no edges");
-  }
-  return spec;
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--json] [--faults=<seed>] [--checkpoint-interval=<r>]"
+               " [--load-budget-factor=<f>] <spec-file> | --demo[=<dir>]\n";
+  return 2;
 }
 
-int RunSpec(const Spec& spec, bool dump_json,
+int RunSpec(const parjoin::serve::QuerySpec& spec, bool dump_json,
             const parjoin::plan::ExecutionOptions& exec_options) {
   std::vector<parjoin::QueryEdge> edges;
   for (const auto& e : spec.edges) edges.push_back({e.u, e.v});
@@ -116,12 +61,13 @@ int RunSpec(const Spec& spec, bool dump_json,
   parjoin::TreeInstance<S> instance{std::move(query).value(), {}};
   for (const auto& e : spec.edges) {
     auto rel =
-        parjoin::LoadRelationCsv<S>(e.path, parjoin::Schema{e.u, e.v});
+        parjoin::LoadRelationCsv<S>(e.source, parjoin::Schema{e.u, e.v});
     if (!rel.ok()) {
       std::cerr << "error: " << rel.status() << "\n";
       return 1;
     }
-    std::cout << "  loaded " << e.path << ": " << rel->size() << " tuples\n";
+    std::cout << "  loaded " << e.source << ": " << rel->size()
+              << " tuples\n";
     instance.relations.push_back(
         parjoin::Distribute(cluster, std::move(rel).value()));
   }
@@ -138,15 +84,17 @@ int RunSpec(const Spec& spec, bool dump_json,
   parjoin::Relation<S> local = exec.result.ToLocal();
   local.Normalize();
 
+  const std::string result_path =
+      spec.result_path.empty() ? "result.csv" : spec.result_path;
   if (const parjoin::Status saved =
-          parjoin::SaveRelationCsv(spec.result_path, local);
+          parjoin::SaveRelationCsv(result_path, local);
       !saved.ok()) {
     std::cerr << "error: " << saved << "\n";
     return 1;
   }
   const auto& xs = exec.plan.execution_stats;
-  std::cout << "Result: " << local.size() << " tuples -> "
-            << spec.result_path << "\n"
+  std::cout << "Result: " << local.size() << " tuples -> " << result_path
+            << "\n"
             << parjoin::plan::PredictedVsMeasuredReport(exec.plan) << "\n"
             << "Cost: planning load " << exec.plan.planning_stats.max_load
             << " (" << exec.plan.planning_stats.rounds << " rounds), "
@@ -169,10 +117,15 @@ int RunSpec(const Spec& spec, bool dump_json,
   return 0;
 }
 
-int WriteDemoAndRun(bool dump_json,
+int WriteDemoAndRun(const std::string& dir, bool dump_json,
                     const parjoin::plan::ExecutionOptions& exec_options) {
-  const std::string dir = "/tmp/parjoin_demo";
-  (void)system(("mkdir -p " + dir).c_str());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "error: cannot create demo directory " << dir << ": "
+              << ec.message() << "\n";
+    return 1;
+  }
   // A 3-chain: suppliers -> parts -> regions.
   {
     std::ofstream r1(dir + "/supplies.csv");
@@ -197,7 +150,7 @@ int WriteDemoAndRun(bool dump_json,
          << "output 0 2\n"
          << "result " << dir << "/routes.csv\n";
   }
-  auto spec = ParseSpec(dir + "/query.spec");
+  auto spec = parjoin::serve::ParseQuerySpecFile(dir + "/query.spec");
   if (!spec.ok()) {
     std::cerr << "error: " << spec.status() << "\n";
     return 1;
@@ -210,42 +163,82 @@ int WriteDemoAndRun(bool dump_json,
 
 int main(int argc, char** argv) {
   bool dump_json = false;
+  bool demo = false;
+  std::string demo_dir = "/tmp/parjoin_demo";
   parjoin::plan::ExecutionOptions exec_options;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string value;
     if (arg == "--json") {
       dump_json = true;
-    } else if (arg.rfind("--faults=", 0) == 0) {
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (parjoin::serve::MatchFlag(arg, "demo", &value)) {
+      demo = true;
+      demo_dir = value;
+    } else if (parjoin::serve::MatchFlag(arg, "faults", &value)) {
+      auto seed = parjoin::serve::ParseUint64Flag("faults", value);
+      if (!seed.ok()) {
+        std::cerr << "error: " << seed.status() << "\n";
+        return Usage(argv[0]);
+      }
       exec_options.faults.enabled = true;
-      exec_options.faults.seed =
-          std::strtoull(arg.c_str() + 9, nullptr, 10);
+      exec_options.faults.seed = *seed;
       if (exec_options.checkpoint_interval == 0) {
         exec_options.checkpoint_interval = 2;
       }
-    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
-      exec_options.checkpoint_interval =
-          static_cast<int>(std::strtol(arg.c_str() + 22, nullptr, 10));
-    } else if (arg.rfind("--load-budget-factor=", 0) == 0) {
-      exec_options.load_budget_factor =
-          std::strtod(arg.c_str() + 21, nullptr);
+    } else if (parjoin::serve::MatchFlag(arg, "checkpoint-interval",
+                                         &value)) {
+      auto interval =
+          parjoin::serve::ParseInt64Flag("checkpoint-interval", value);
+      if (!interval.ok() || *interval < 0 || *interval > 1000000) {
+        std::cerr << "error: --checkpoint-interval needs an integer in "
+                     "[0, 1000000], got '"
+                  << value << "'\n";
+        return Usage(argv[0]);
+      }
+      exec_options.checkpoint_interval = static_cast<int>(*interval);
+    } else if (parjoin::serve::MatchFlag(arg, "load-budget-factor",
+                                         &value)) {
+      auto factor =
+          parjoin::serve::ParseDoubleFlag("load-budget-factor", value);
+      if (!factor.ok() || *factor <= 0) {
+        std::cerr << "error: --load-budget-factor needs a number > 0, "
+                     "got '"
+                  << value << "'\n";
+        return Usage(argv[0]);
+      }
+      exec_options.load_budget_factor = *factor;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag " << arg << "\n";
+      return Usage(argv[0]);
     } else {
       args.push_back(arg);
     }
   }
-  if (args.size() == 1 && args[0] == "--demo") {
-    return WriteDemoAndRun(dump_json, exec_options);
+  if (demo) {
+    if (!args.empty()) {
+      std::cerr << "error: --demo takes no spec file\n";
+      return Usage(argv[0]);
+    }
+    return WriteDemoAndRun(demo_dir, dump_json, exec_options);
   }
   if (args.size() != 1) {
-    std::cerr << "usage: " << argv[0]
-              << " [--json] [--faults=<seed>] [--checkpoint-interval=<r>]"
-                 " [--load-budget-factor=<f>] <spec-file> | --demo\n";
-    return 2;
+    return Usage(argv[0]);
   }
-  auto spec = ParseSpec(args[0]);
+  auto spec = parjoin::serve::ParseQuerySpecFile(args[0]);
   if (!spec.ok()) {
     std::cerr << "error: " << spec.status() << "\n";
     return 1;
+  }
+  for (const auto& e : spec->edges) {
+    if (e.IsRef()) {
+      std::cerr << "error: edge source '" << e.source
+                << "' is a relation reference; @name sources need the "
+                   "parjoind registry\n";
+      return 1;
+    }
   }
   return RunSpec(*spec, dump_json, exec_options);
 }

@@ -121,11 +121,16 @@ struct PlanExecution {
 //    configured factor; the run degrades onto the Yannakakis baseline
 //    (which has no candidate-specific tuning to mispredict) and continues
 //    unbudgeted. Single-edge queries re-run their only algorithm instead.
+//
+// Exhausting max_attempts is a reportable outcome, not a bug: a serving
+// process must survive one doomed query. The cluster's fault machinery is
+// disarmed, the recovery report is filled with the trail so far, and
+// ResourceExhausted is returned. (ExecuteWithRecovery below keeps the
+// CHECK-flavored contract for one-shot callers.)
 template <SemiringC S>
-DistRelation<S> ExecuteWithRecovery(mpc::Cluster& cluster,
-                                    TreeInstance<S> instance,
-                                    const ExecutionOptions& options,
-                                    PhysicalPlan* plan) {
+StatusOr<DistRelation<S>> TryExecuteWithRecovery(
+    mpc::Cluster& cluster, TreeInstance<S> instance,
+    const ExecutionOptions& options, PhysicalPlan* plan) {
   plan->executed = plan->chosen;
   const bool resilient = options.faults.enabled ||
                          options.checkpoint_interval > 0 ||
@@ -155,8 +160,19 @@ DistRelation<S> ExecuteWithRecovery(mpc::Cluster& cluster,
   Algorithm algo = plan->chosen;
   std::int64_t backoff = options.backoff_base;
   for (int attempt = 1;; ++attempt) {
-    CHECK_LE(attempt, options.max_attempts)
-        << "recovery attempts exhausted for " << AlgorithmName(algo);
+    if (attempt > options.max_attempts) {
+      cluster.SetLoadBudget(0);
+      cluster.SetCheckpointInterval(0);
+      cluster.DisableFaults();
+      report.attempts = options.max_attempts;
+      report.crashes = cluster.stats().crashes;
+      report.events = cluster.fault_log();
+      plan->executed = algo;
+      return ResourceExhaustedError(
+          std::string("recovery attempts exhausted for ") +
+          AlgorithmName(algo) + " after " +
+          std::to_string(options.max_attempts) + " attempt(s)");
+    }
     try {
       DistRelation<S> result;
       if (attempt == 1 && algo == plan->chosen) {
@@ -196,6 +212,19 @@ DistRelation<S> ExecuteWithRecovery(mpc::Cluster& cluster,
       cluster.rng() = rng_snapshot;
     }
   }
+}
+
+// CHECK-flavored wrapper for one-shot callers (PlanAndRun, examples) whose
+// fault schedules are known to converge within max_attempts.
+template <SemiringC S>
+DistRelation<S> ExecuteWithRecovery(mpc::Cluster& cluster,
+                                    TreeInstance<S> instance,
+                                    const ExecutionOptions& options,
+                                    PhysicalPlan* plan) {
+  StatusOr<DistRelation<S>> result = TryExecuteWithRecovery(
+      cluster, std::move(instance), options, plan);
+  CHECK(result.ok()) << result.status();
+  return std::move(result).value();
 }
 
 // Plans the instance, runs the chosen algorithm under the resilience

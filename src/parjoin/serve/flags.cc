@@ -1,0 +1,111 @@
+#include "parjoin/serve/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace parjoin {
+namespace serve {
+
+namespace {
+
+// Shared shape checks: non-empty, no leading whitespace (strtol would skip
+// it and hide the difference between " 8" and "8"), and for unsigned
+// parses no leading '-' (strtoull silently wraps negatives).
+Status PreflightNumeric(const std::string& text, bool allow_sign) {
+  if (text.empty()) {
+    return InvalidArgumentError("empty numeric value");
+  }
+  const char first = text[0];
+  if (first == ' ' || first == '\t') {
+    return InvalidArgumentError("numeric value '" + text +
+                                "' has leading whitespace");
+  }
+  if (!allow_sign && (first == '-' || first == '+')) {
+    return InvalidArgumentError("numeric value '" + text +
+                                "' must be unsigned");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<std::int64_t> ParseInt64Text(const std::string& text) {
+  PARJOIN_RETURN_IF_ERROR(PreflightNumeric(text, /*allow_sign=*/true));
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("'" + text + "' is not an integer");
+  }
+  if (errno == ERANGE) {
+    return InvalidArgumentError("'" + text + "' is out of int64 range");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+StatusOr<std::uint64_t> ParseUint64Text(const std::string& text) {
+  PARJOIN_RETURN_IF_ERROR(PreflightNumeric(text, /*allow_sign=*/false));
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("'" + text +
+                                "' is not an unsigned integer");
+  }
+  if (errno == ERANGE) {
+    return InvalidArgumentError("'" + text + "' is out of uint64 range");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+StatusOr<double> ParseDoubleText(const std::string& text) {
+  PARJOIN_RETURN_IF_ERROR(PreflightNumeric(text, /*allow_sign=*/true));
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("'" + text + "' is not a number");
+  }
+  if (errno == ERANGE) {
+    return InvalidArgumentError("'" + text + "' is out of double range");
+  }
+  return value;
+}
+
+bool MatchFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+namespace {
+
+template <typename T>
+StatusOr<T> Contextualize(const std::string& flag, StatusOr<T> parsed,
+                          const char* kind) {
+  if (parsed.ok()) return parsed;
+  return InvalidArgumentError("--" + flag + " needs " + kind + ": " +
+                              parsed.status().message());
+}
+
+}  // namespace
+
+StatusOr<std::int64_t> ParseInt64Flag(const std::string& flag,
+                                      const std::string& value) {
+  return Contextualize(flag, ParseInt64Text(value), "an integer");
+}
+
+StatusOr<std::uint64_t> ParseUint64Flag(const std::string& flag,
+                                        const std::string& value) {
+  return Contextualize(flag, ParseUint64Text(value), "an unsigned integer");
+}
+
+StatusOr<double> ParseDoubleFlag(const std::string& flag,
+                                 const std::string& value) {
+  return Contextualize(flag, ParseDoubleText(value), "a number");
+}
+
+}  // namespace serve
+}  // namespace parjoin

@@ -1,0 +1,46 @@
+// Checked numeric parsing for command-line flags and spec directives.
+//
+// strtol-family calls with no endptr/range validation turn typos into
+// silent zeros (`--faults=abc` used to become seed 0, and
+// `--checkpoint-interval=-3` was accepted as a negative interval). These
+// helpers parse the WHOLE token or fail: leading/trailing garbage, empty
+// strings, and out-of-range values all surface as InvalidArgument with the
+// offending text in the message. Both query_runner and parjoind route
+// every numeric flag through them and exit 2 with a usage line on error.
+
+#ifndef PARJOIN_SERVE_FLAGS_H_
+#define PARJOIN_SERVE_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "parjoin/common/status.h"
+
+namespace parjoin {
+namespace serve {
+
+// Parses the ENTIRE text as one value of the target type. Rejects empty
+// input, surrounding whitespace, trailing garbage ("8x"), and values
+// outside the type's range. Error messages quote the offending text.
+StatusOr<std::int64_t> ParseInt64Text(const std::string& text);
+StatusOr<std::uint64_t> ParseUint64Text(const std::string& text);
+StatusOr<double> ParseDoubleText(const std::string& text);
+
+// True when `arg` is "--<name>=<value>"; *value receives <value> (possibly
+// empty). False otherwise, leaving *value untouched.
+bool MatchFlag(const std::string& arg, const std::string& name,
+               std::string* value);
+
+// Convenience wrappers that contextualize the parse error with the flag
+// name ("--faults needs an unsigned integer, got 'abc'").
+StatusOr<std::int64_t> ParseInt64Flag(const std::string& flag,
+                                      const std::string& value);
+StatusOr<std::uint64_t> ParseUint64Flag(const std::string& flag,
+                                        const std::string& value);
+StatusOr<double> ParseDoubleFlag(const std::string& flag,
+                                 const std::string& value);
+
+}  // namespace serve
+}  // namespace parjoin
+
+#endif  // PARJOIN_SERVE_FLAGS_H_

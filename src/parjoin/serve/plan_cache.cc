@@ -1,0 +1,44 @@
+#include "parjoin/serve/plan_cache.h"
+
+#include "parjoin/common/logging.h"
+
+namespace parjoin {
+namespace serve {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  // Capacity is a construction option validated by the binaries' flag
+  // parsing, not query ingress.
+  // parjoin-lint: allow(ingress-status)
+  CHECK_GT(capacity, 0u);
+}
+
+const plan::PhysicalPlan* PlanCache::Lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    counters_.misses += 1;
+    return nullptr;
+  }
+  counters_.hits += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& key, plan::PhysicalPlan plan) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    counters_.evictions += 1;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  entries_.emplace(key, lru_.begin());
+}
+
+}  // namespace serve
+}  // namespace parjoin

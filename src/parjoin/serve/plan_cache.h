@@ -1,0 +1,71 @@
+// LRU cache of PhysicalPlans for the serving runtime.
+//
+// Keys are the server's query signatures: query structure (edges, outputs,
+// p) plus the registration-time sketch fingerprint of every referenced
+// relation (sketch/relation_sketch.h). A hit skips the planner's
+// estimation rounds entirely — the dominant cost of planning — and returns
+// a pristine copy of the cached plan (measured fields unfilled) for the
+// executor to run. Hit/miss/eviction counters feed the E7 bench entries
+// and the parjoind report.
+
+#ifndef PARJOIN_SERVE_PLAN_CACHE_H_
+#define PARJOIN_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "parjoin/plan/plan.h"
+
+namespace parjoin {
+namespace serve {
+
+class PlanCache {
+ public:
+  struct Counters {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+  };
+
+  explicit PlanCache(std::size_t capacity);
+
+  // Returns the cached plan for `key` (and bumps it most-recent), or
+  // nullptr. Every call counts as a hit or a miss. The pointer is valid
+  // until the next Insert; callers copy the plan out.
+  const plan::PhysicalPlan* Lookup(const std::string& key);
+
+  // Inserts (or refreshes) the plan under `key`, evicting the least
+  // recently used entry when at capacity.
+  void Insert(const std::string& key, plan::PhysicalPlan plan);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Counters& counters() const { return counters_; }
+
+  double HitRate() const {
+    const std::int64_t total = counters_.hits + counters_.misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(counters_.hits) /
+                     static_cast<double>(total);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    plan::PhysicalPlan plan;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  Counters counters_;
+};
+
+}  // namespace serve
+}  // namespace parjoin
+
+#endif  // PARJOIN_SERVE_PLAN_CACHE_H_

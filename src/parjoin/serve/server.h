@@ -1,0 +1,406 @@
+// The parjoind serving core: a long-lived query-serving runtime over the
+// MPC simulator.
+//
+// Lifecycle:
+//  1. RegisterRelation(name, csv): load + Distribute + per-column KMV
+//     sketches happen ONCE, at registration. Registered partitions are
+//     plain ScatterEvenly placements, so every query reuses them with a
+//     fresh per-query cluster; the sketches' fingerprints go into plan
+//     cache keys.
+//  2. Enqueue(spec, label): append to the FIFO admission queue.
+//  3. Drain(): serve everything, in admission-controlled batches.
+//
+// Plan cache: keyed on the query structure (edges, outputs, p) plus the
+// sketch fingerprint of every referenced relation. A hit skips the
+// planner's estimation rounds — the dominant planning cost — and reuses
+// the cached PhysicalPlan verbatim.
+//
+// Determinism: each query executes on a fresh Cluster seeded from the
+// query's signature, so a cached-plan (warm) run replays exactly the rng
+// stream of the cold run and produces bit-identical results. (On a cold
+// run, planning draws from a separate signature-derived planning cluster,
+// never from the execution cluster.)
+//
+// Admission control / FIFO fairness: each staged query's ticket is its
+// cost-model predicted load (>= 1). Queries are admitted in strict FIFO
+// order into a batch until the next ticket would exceed the configured
+// load budget; the query that did not fit is carried — already planned —
+// into the next batch, so an expensive query can delay but never starve
+// later ones, and a ticket larger than the whole budget still runs (as a
+// singleton batch). Batches execute sequentially on the simulator;
+// latency is wall-clock from Drain() start to each query's completion.
+//
+// Isolation: execution goes through plan::TryExecuteWithRecovery, so a
+// query that exhausts its recovery attempts (or fails validation) yields
+// an error Outcome — and its possibly crash-shrunken cluster is simply
+// discarded — while the server keeps serving.
+
+#ifndef PARJOIN_SERVE_SERVER_H_
+#define PARJOIN_SERVE_SERVER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "parjoin/common/hash.h"
+#include "parjoin/common/status.h"
+#include "parjoin/common/stopwatch.h"
+#include "parjoin/plan/executor.h"
+#include "parjoin/relation/io.h"
+#include "parjoin/serve/plan_cache.h"
+#include "parjoin/serve/spec.h"
+#include "parjoin/sketch/relation_sketch.h"
+
+namespace parjoin {
+namespace serve {
+
+struct ServerOptions {
+  int p = 8;
+  // Base seed; per-query cluster seeds derive from (seed, signature).
+  std::uint64_t seed = 0xd1575ab4e9c0f372ULL;
+  std::size_t plan_cache_capacity = 64;
+  // Admission budget per batch, in predicted-load units (tuples). <= 0:
+  // one query per batch.
+  double load_budget = 0;
+  plan::PlannerOptions planner;
+  // Default resilience options; Enqueue can override per query.
+  plan::ExecutionOptions exec;
+};
+
+template <SemiringC S>
+class Server {
+ public:
+  struct Outcome {
+    std::string label;
+    Status status = OkStatus();  // per-query: an error never stops Drain
+    Relation<S> result;          // Normalize()d; empty when status is not ok
+    bool cache_hit = false;
+    // Time spent obtaining the plan: the planner's estimation pass (cold)
+    // or the cache lookup (warm).
+    double plan_ms = 0;
+    double latency_ms = 0;  // Drain() start -> this query's completion
+    int batch = 0;          // 1-based admission batch index
+    double ticket = 1;      // predicted-load admission ticket
+    plan::PhysicalPlan plan;
+  };
+
+  struct Metrics {
+    std::int64_t enqueued = 0;
+    std::int64_t served = 0;
+    std::int64_t failed = 0;
+    int batches = 0;
+    std::int64_t cold_plans = 0;
+    std::int64_t warm_plans = 0;
+    double cold_plan_ms_total = 0;
+    double warm_plan_ms_total = 0;
+  };
+
+  explicit Server(ServerOptions options)
+      : options_(std::move(options)), cache_(options_.plan_cache_capacity) {
+    // Construction options are programmer input, not query ingress; the
+    // binaries validate p upstream.
+    // parjoin-lint: allow(ingress-status)
+    CHECK_GT(options_.p, 0);
+  }
+
+  // --- registration ---------------------------------------------------------
+
+  Status RegisterRelation(const std::string& name, const std::string& path) {
+    if (registry_.find(name) != registry_.end()) {
+      return FailedPreconditionError("relation '" + name +
+                                     "' already registered");
+    }
+    PARJOIN_ASSIGN_OR_RETURN(Relation<S> rel,
+                             LoadRelationCsv<S>(path, Schema{0, 1}));
+    Registered reg;
+    reg.data = mpc::ScatterEvenly(std::move(rel.tuples()), options_.p);
+    reg.sketch = SketchRelation(
+        DistRelation<S>{Schema{0, 1}, reg.data});
+    registry_.emplace(name, std::move(reg));
+    return OkStatus();
+  }
+
+  // In-memory registration (bench/test path): same registration work —
+  // Distribute + sketches — without the CSV round-trip.
+  Status RegisterRelation(const std::string& name, Relation<S> rel) {
+    if (registry_.find(name) != registry_.end()) {
+      return FailedPreconditionError("relation '" + name +
+                                     "' already registered");
+    }
+    if (rel.schema().size() != 2) {
+      return InvalidArgumentError("relation '" + name + "' is not binary");
+    }
+    const Schema schema = rel.schema();
+    Registered reg;
+    reg.data = mpc::ScatterEvenly(std::move(rel.tuples()), options_.p);
+    reg.sketch = SketchRelation(DistRelation<S>{schema, reg.data});
+    registry_.emplace(name, std::move(reg));
+    return OkStatus();
+  }
+
+  // Registers every relation of a parsed workload file.
+  Status RegisterWorkload(const WorkloadSpec& workload) {
+    for (const WorkloadRegistration& r : workload.relations) {
+      PARJOIN_RETURN_IF_ERROR(RegisterRelation(r.name, r.path));
+    }
+    return OkStatus();
+  }
+
+  bool HasRelation(const std::string& name) const {
+    return registry_.find(name) != registry_.end();
+  }
+
+  // --- admission ------------------------------------------------------------
+
+  Status Enqueue(QuerySpec spec, std::string label) {
+    return Enqueue(std::move(spec), std::move(label), options_.exec);
+  }
+
+  // Per-query resilience override (fault injection, budgets, ...).
+  Status Enqueue(QuerySpec spec, std::string label,
+                 const plan::ExecutionOptions& exec) {
+    for (const SpecEdge& e : spec.edges) {
+      if (e.IsRef() && !HasRelation(e.RefName())) {
+        return NotFoundError("query '" + label +
+                             "' references unregistered relation '@" +
+                             e.RefName() + "'");
+      }
+    }
+    queue_.push_back(Pending{std::move(label), std::move(spec), exec});
+    metrics_.enqueued += 1;
+    return OkStatus();
+  }
+
+  std::int64_t QueueDepth() const {
+    return static_cast<std::int64_t>(queue_.size()) + (staged_ ? 1 : 0);
+  }
+
+  // Serves every enqueued query; one Outcome per query, admission order.
+  std::vector<Outcome> Drain() {
+    std::vector<Outcome> outcomes;
+    Stopwatch clock;
+    while (!queue_.empty() || staged_.has_value()) {
+      metrics_.batches += 1;
+      const int batch_index = metrics_.batches;
+      std::vector<Admitted> batch;
+      double used = 0;
+      for (;;) {
+        if (!staged_.has_value()) {
+          if (queue_.empty()) break;
+          staged_ = Stage(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        if (!batch.empty() && options_.load_budget > 0 &&
+            used + staged_->ticket > options_.load_budget) {
+          break;  // carries, already planned, into the next batch
+        }
+        used += staged_->ticket;
+        batch.push_back(std::move(*staged_));
+        staged_.reset();
+        if (options_.load_budget <= 0) break;
+      }
+      for (Admitted& adm : batch) {
+        Outcome out = Execute(std::move(adm), batch_index);
+        out.latency_ms = clock.ElapsedMillis();
+        outcomes.push_back(std::move(out));
+      }
+    }
+    return outcomes;
+  }
+
+  // --- introspection --------------------------------------------------------
+
+  const ServerOptions& options() const { return options_; }
+  const PlanCache& plan_cache() const { return cache_; }
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  struct Registered {
+    mpc::Dist<Tuple<S>> data;  // p ScatterEvenly parts, schema-agnostic
+    RelationSketch sketch;
+  };
+
+  struct Pending {
+    std::string label;
+    QuerySpec spec;
+    plan::ExecutionOptions exec;
+  };
+
+  // A staged query: resolved, signed, and planned (or failed trying).
+  struct Admitted {
+    std::string label;
+    plan::ExecutionOptions exec;
+    Status stage_status = OkStatus();
+    std::uint64_t signature = 0;
+    bool cache_hit = false;
+    double plan_ms = 0;
+    double ticket = 1;
+    std::optional<TreeInstance<S>> instance;
+    std::optional<plan::PhysicalPlan> plan;
+  };
+
+  std::uint64_t PlanSeed(std::uint64_t signature) const {
+    return HashCombine(options_.seed, HashCombine(0x70a11ed5ULL, signature));
+  }
+  std::uint64_t ExecSeed(std::uint64_t signature) const {
+    return HashCombine(options_.seed, HashCombine(0xe8ec5eedULL, signature));
+  }
+
+  // Resolves a spec edge to (distributed relation, sketch fingerprint).
+  // Registered references reuse the registration-time partitions and
+  // sketch; literal CSV paths are loaded and sketched on the spot.
+  StatusOr<std::pair<DistRelation<S>, std::uint64_t>> ResolveEdge(
+      const SpecEdge& e) {
+    const Schema schema{e.u, e.v};
+    if (e.IsRef()) {
+      auto it = registry_.find(e.RefName());
+      if (it == registry_.end()) {
+        return NotFoundError("unregistered relation '@" + e.RefName() + "'");
+      }
+      return std::make_pair(DistRelation<S>{schema, it->second.data},
+                            it->second.sketch.Fingerprint());
+    }
+    PARJOIN_ASSIGN_OR_RETURN(Relation<S> rel,
+                             LoadRelationCsv<S>(e.source, schema));
+    DistRelation<S> dist;
+    dist.schema = schema;
+    dist.data = mpc::ScatterEvenly(std::move(rel.tuples()), options_.p);
+    const std::uint64_t fp = SketchRelation(dist).Fingerprint();
+    return std::make_pair(std::move(dist), fp);
+  }
+
+  // Builds the cache key: the full query structure plus per-edge relation
+  // fingerprints. Two queries share a key iff they have the same edges
+  // over content-identical relations, the same outputs, and the same p.
+  static std::string CacheKey(const QuerySpec& spec,
+                              const std::vector<std::uint64_t>& fps, int p) {
+    std::string key = "p=" + std::to_string(p);
+    for (std::size_t i = 0; i < spec.edges.size(); ++i) {
+      key += "|e=" + std::to_string(spec.edges[i].u) + "-" +
+             std::to_string(spec.edges[i].v) + "#" + std::to_string(fps[i]);
+    }
+    key += "|y=";
+    for (AttrId a : spec.outputs) key += std::to_string(a) + ",";
+    return key;
+  }
+
+  static std::uint64_t Signature(const std::string& cache_key) {
+    std::uint64_t h = 0x5167a7c2e4d8b091ULL;
+    for (char c : cache_key) {
+      h = HashCombine(h, static_cast<std::uint64_t>(
+                             static_cast<unsigned char>(c)));
+    }
+    return h;
+  }
+
+  Admitted Stage(Pending pending) {
+    Admitted adm;
+    adm.label = std::move(pending.label);
+    adm.exec = pending.exec;
+
+    std::vector<QueryEdge> edges;
+    for (const SpecEdge& e : pending.spec.edges) edges.push_back({e.u, e.v});
+    StatusOr<JoinTree> query =
+        JoinTree::Create(std::move(edges), pending.spec.outputs);
+    if (!query.ok()) {
+      adm.stage_status = query.status();
+      return adm;
+    }
+    TreeInstance<S> instance{std::move(query).value(), {}};
+    std::vector<std::uint64_t> fps;
+    for (const SpecEdge& e : pending.spec.edges) {
+      auto resolved = ResolveEdge(e);
+      if (!resolved.ok()) {
+        adm.stage_status = resolved.status();
+        return adm;
+      }
+      instance.relations.push_back(std::move(resolved->first));
+      fps.push_back(resolved->second);
+    }
+    if (const Status valid = instance.ValidateStatus(); !valid.ok()) {
+      adm.stage_status = valid;
+      return adm;
+    }
+
+    const std::string key = CacheKey(pending.spec, fps, options_.p);
+    adm.signature = Signature(key);
+    adm.instance = std::move(instance);
+
+    Stopwatch sw;
+    if (const plan::PhysicalPlan* cached = cache_.Lookup(key)) {
+      adm.plan = *cached;
+      adm.cache_hit = true;
+      adm.plan_ms = sw.ElapsedMillis();
+      metrics_.warm_plans += 1;
+      metrics_.warm_plan_ms_total += adm.plan_ms;
+    } else {
+      // Planning draws rng from its own signature-seeded cluster, so the
+      // execution cluster's stream is identical on cold and warm runs.
+      mpc::Cluster plan_cluster(options_.p, PlanSeed(adm.signature));
+      adm.plan = plan::PlanQuery(plan_cluster, *adm.instance,
+                                 options_.planner);
+      adm.plan->planning_stats = plan_cluster.stats();
+      adm.plan_ms = sw.ElapsedMillis();
+      metrics_.cold_plans += 1;
+      metrics_.cold_plan_ms_total += adm.plan_ms;
+      cache_.Insert(key, *adm.plan);
+    }
+    adm.ticket = std::max(1.0, adm.plan->predicted_load);
+    return adm;
+  }
+
+  Outcome Execute(Admitted adm, int batch_index) {
+    Outcome out;
+    out.label = std::move(adm.label);
+    out.cache_hit = adm.cache_hit;
+    out.plan_ms = adm.plan_ms;
+    out.batch = batch_index;
+    out.ticket = adm.ticket;
+    if (!adm.stage_status.ok()) {
+      out.status = adm.stage_status;
+      metrics_.failed += 1;
+      return out;
+    }
+    out.plan = std::move(*adm.plan);
+
+    mpc::Cluster cluster(options_.p, ExecSeed(adm.signature));
+    StatusOr<DistRelation<S>> result = plan::TryExecuteWithRecovery(
+        cluster, std::move(*adm.instance), adm.exec, &out.plan);
+    out.plan.execution_stats = cluster.stats();
+    out.plan.measured_load = out.plan.execution_stats.max_load;
+    if (!result.ok()) {
+      // The cluster (possibly crash-shrunken) dies with this scope; the
+      // next query gets a fresh one from the registered partitions.
+      out.status = result.status();
+      metrics_.failed += 1;
+      return out;
+    }
+    out.plan.out_actual = result->TotalSize();
+    if (plan::Candidate* c =
+            out.plan.MutableCandidateFor(out.plan.executed)) {
+      c->measured_load = out.plan.measured_load;
+    }
+    out.result = result->ToLocal();
+    out.result.Normalize();
+    metrics_.served += 1;
+    return out;
+  }
+
+  ServerOptions options_;
+  PlanCache cache_;
+  std::unordered_map<std::string, Registered> registry_;
+  std::deque<Pending> queue_;
+  std::optional<Admitted> staged_;
+  Metrics metrics_;
+};
+
+}  // namespace serve
+}  // namespace parjoin
+
+#endif  // PARJOIN_SERVE_SERVER_H_

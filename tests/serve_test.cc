@@ -1,0 +1,353 @@
+// The parjoind serving core: plan-cache correctness (warm results
+// bit-identical to cold, at 1 and 4 threads), LRU/counter bookkeeping,
+// admission-controlled batching, and per-query fault isolation — a query
+// that exhausts its recovery attempts yields an error Outcome while the
+// server keeps serving.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/common/parallel_for.h"
+#include "parjoin/common/random.h"
+#include "parjoin/plan/plan.h"
+#include "parjoin/serve/plan_cache.h"
+#include "parjoin/serve/server.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+using Server = serve::Server<S>;
+using Outcome = Server::Outcome;
+
+constexpr int kP = 8;
+
+// Restores the default thread count even when a test body fails early.
+struct ThreadOverrideGuard {
+  ~ThreadOverrideGuard() { SetParallelForThreads(0); }
+};
+
+// Registers ab(0,1), bc(1,2), bd(1,3): enough for a matmul, a line, and a
+// star shape over one registry.
+void RegisterTestRelations(Server& server) {
+  Rng rng(7);
+  const auto add = [&](const char* name, AttrId u, AttrId v) {
+    Relation<S> rel = internal_workload::RandomBinaryRelation<S>(
+        Schema{u, v}, /*count=*/600, /*dom_u=*/60, /*dom_v=*/40,
+        /*skew_v=*/0.3, /*max_weight=*/5, rng);
+    CHECK_OK(server.RegisterRelation(name, std::move(rel)));
+  };
+  add("ab", 0, 1);
+  add("bc", 1, 2);
+  add("bd", 1, 3);
+}
+
+serve::QuerySpec MatmulSpec() {
+  serve::QuerySpec spec;
+  spec.p = kP;
+  spec.edges = {{0, 1, "@ab"}, {1, 2, "@bc"}};
+  spec.outputs = {0, 2};
+  return spec;
+}
+
+serve::QuerySpec StarSpec() {
+  serve::QuerySpec spec;
+  spec.p = kP;
+  spec.edges = {{0, 1, "@ab"}, {1, 2, "@bc"}, {1, 3, "@bd"}};
+  spec.outputs = {0, 2, 3};
+  return spec;
+}
+
+Server MakeServer(double load_budget = 0) {
+  serve::ServerOptions options;
+  options.p = kP;
+  options.seed = 99;
+  options.load_budget = load_budget;
+  return Server(options);
+}
+
+// --- plan cache (unit) ------------------------------------------------------
+
+TEST(PlanCache, CountsHitsMissesAndEvictsLru) {
+  serve::PlanCache cache(2);
+  plan::PhysicalPlan plan;
+  EXPECT_EQ(cache.Lookup("a"), nullptr);  // miss
+  cache.Insert("a", plan);
+  cache.Insert("b", plan);
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // hit; "a" becomes most recent
+  cache.Insert("c", plan);                // evicts "b" (lru)
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.counters().hits, 3);
+  EXPECT_EQ(cache.counters().misses, 2);
+  EXPECT_EQ(cache.counters().evictions, 1);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 3.0 / 5.0);
+}
+
+TEST(PlanCache, InsertRefreshesExistingKeyWithoutEviction) {
+  serve::PlanCache cache(2);
+  plan::PhysicalPlan plan;
+  cache.Insert("a", plan);
+  plan.predicted_load = 42;
+  cache.Insert("a", plan);  // refresh, not a second entry
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().evictions, 0);
+  const plan::PhysicalPlan* got = cache.Lookup("a");
+  ASSERT_NE(got, nullptr);
+  EXPECT_DOUBLE_EQ(got->predicted_load, 42);
+}
+
+// --- cache-hit correctness --------------------------------------------------
+
+// The acceptance bar: results computed from a cached plan must be
+// bit-identical to the cold-planned run, sequentially and threaded.
+TEST(Serve, WarmResultsBitIdenticalToColdAcrossThreads) {
+  ThreadOverrideGuard guard;
+  std::vector<Relation<S>> per_thread_results;
+  for (const int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    // Cold-only reference: a fresh server runs each shape once.
+    Server cold = MakeServer();
+    RegisterTestRelations(cold);
+    CHECK_OK(cold.Enqueue(MatmulSpec(), "matmul"));
+    CHECK_OK(cold.Enqueue(StarSpec(), "star"));
+    const std::vector<Outcome> cold_out = cold.Drain();
+    ASSERT_EQ(cold_out.size(), 2u);
+    for (const Outcome& out : cold_out) {
+      ASSERT_TRUE(out.status.ok()) << out.status;
+      EXPECT_FALSE(out.cache_hit);
+    }
+
+    // Warm server: the same shapes enqueued twice; the repeats must hit
+    // the cache and reproduce the cold results exactly.
+    Server warm = MakeServer();
+    RegisterTestRelations(warm);
+    CHECK_OK(warm.Enqueue(MatmulSpec(), "matmul#0"));
+    CHECK_OK(warm.Enqueue(StarSpec(), "star#0"));
+    CHECK_OK(warm.Enqueue(MatmulSpec(), "matmul#1"));
+    CHECK_OK(warm.Enqueue(StarSpec(), "star#1"));
+    const std::vector<Outcome> warm_out = warm.Drain();
+    ASSERT_EQ(warm_out.size(), 4u);
+    EXPECT_FALSE(warm_out[0].cache_hit);
+    EXPECT_FALSE(warm_out[1].cache_hit);
+    EXPECT_TRUE(warm_out[2].cache_hit);
+    EXPECT_TRUE(warm_out[3].cache_hit);
+    for (const Outcome& out : warm_out) {
+      ASSERT_TRUE(out.status.ok()) << out.label << ": " << out.status;
+    }
+    EXPECT_GT(warm_out[0].result.size(), 0);
+    // Warm == cold, per shape.
+    EXPECT_EQ(warm_out[2].result, warm_out[0].result);
+    EXPECT_EQ(warm_out[3].result, warm_out[1].result);
+    EXPECT_EQ(warm_out[0].result, cold_out[0].result);
+    EXPECT_EQ(warm_out[1].result, cold_out[1].result);
+
+    EXPECT_EQ(warm.metrics().cold_plans, 2);
+    EXPECT_EQ(warm.metrics().warm_plans, 2);
+    EXPECT_GT(warm.plan_cache().counters().hits, 0);
+    per_thread_results.push_back(warm_out[2].result);
+  }
+  // And the threaded run matches the sequential one.
+  ASSERT_EQ(per_thread_results.size(), 2u);
+  EXPECT_EQ(per_thread_results[0], per_thread_results[1]);
+}
+
+TEST(Serve, WarmPlanningIsCheaperThanCold) {
+  Server server = MakeServer();
+  RegisterTestRelations(server);
+  for (int rep = 0; rep < 6; ++rep) {
+    CHECK_OK(server.Enqueue(MatmulSpec(), "m#" + std::to_string(rep)));
+  }
+  const std::vector<Outcome> outcomes = server.Drain();
+  ASSERT_EQ(outcomes.size(), 6u);
+  const auto& m = server.metrics();
+  ASSERT_EQ(m.cold_plans, 1);
+  ASSERT_EQ(m.warm_plans, 5);
+  // Cold planning runs the planner's estimation rounds; warm planning is
+  // an LRU lookup plus a plan copy — orders of magnitude apart.
+  EXPECT_LT(m.warm_plan_ms_total / 5, m.cold_plan_ms_total);
+  // A cache hit also skips the planning cluster entirely: cached plans
+  // keep the cold run's planning_stats.
+  EXPECT_EQ(outcomes[1].plan.planning_stats.rounds,
+            outcomes[0].plan.planning_stats.rounds);
+}
+
+TEST(Serve, CacheEvictionForcesReplan) {
+  serve::ServerOptions options;
+  options.p = kP;
+  options.seed = 99;
+  options.plan_cache_capacity = 1;  // matmul and star evict each other
+  Server server(options);
+  RegisterTestRelations(server);
+  CHECK_OK(server.Enqueue(MatmulSpec(), "m0"));
+  CHECK_OK(server.Enqueue(StarSpec(), "s0"));
+  CHECK_OK(server.Enqueue(MatmulSpec(), "m1"));
+  const std::vector<Outcome> outcomes = server.Drain();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[2].cache_hit);  // m0's plan was evicted by s0
+  EXPECT_EQ(server.plan_cache().counters().evictions, 2);
+  EXPECT_EQ(server.metrics().cold_plans, 3);
+  // Replanning from scratch still reproduces the same result.
+  EXPECT_EQ(outcomes[2].result, outcomes[0].result);
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(Serve, ZeroBudgetServesOneQueryPerBatchInFifoOrder) {
+  Server server = MakeServer(/*load_budget=*/0);
+  RegisterTestRelations(server);
+  for (int rep = 0; rep < 4; ++rep) {
+    CHECK_OK(server.Enqueue(MatmulSpec(), "m#" + std::to_string(rep)));
+  }
+  const std::vector<Outcome> outcomes = server.Drain();
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(outcomes[i].label, "m#" + std::to_string(i));
+    EXPECT_EQ(outcomes[i].batch, i + 1);
+  }
+  EXPECT_EQ(server.metrics().batches, 4);
+}
+
+TEST(Serve, BudgetPacksBatchesAndCarriesTheQueryThatDidNotFit) {
+  // Learn the (identical) per-query ticket from a probe run, then budget
+  // for exactly two tickets per batch: 5 queries -> batches 1,1,2,2,3.
+  Server probe = MakeServer();
+  RegisterTestRelations(probe);
+  CHECK_OK(probe.Enqueue(MatmulSpec(), "probe"));
+  const std::vector<Outcome> probed = probe.Drain();
+  ASSERT_EQ(probed.size(), 1u);
+  const double ticket = probed[0].ticket;
+  ASSERT_GE(ticket, 1.0);
+
+  Server server = MakeServer(/*load_budget=*/2.5 * ticket);
+  RegisterTestRelations(server);
+  for (int rep = 0; rep < 5; ++rep) {
+    CHECK_OK(server.Enqueue(MatmulSpec(), "m#" + std::to_string(rep)));
+  }
+  const std::vector<Outcome> outcomes = server.Drain();
+  ASSERT_EQ(outcomes.size(), 5u);
+  const std::vector<int> batches = {outcomes[0].batch, outcomes[1].batch,
+                                    outcomes[2].batch, outcomes[3].batch,
+                                    outcomes[4].batch};
+  EXPECT_EQ(batches, (std::vector<int>{1, 1, 2, 2, 3}));
+  for (const Outcome& out : outcomes) {
+    EXPECT_DOUBLE_EQ(out.ticket, ticket);
+  }
+  EXPECT_EQ(server.metrics().batches, 3);
+}
+
+TEST(Serve, TicketLargerThanBudgetStillRunsAsSingletonBatch) {
+  // A budget below any single ticket must not starve the queue.
+  Server server = MakeServer(/*load_budget=*/0.5);
+  RegisterTestRelations(server);
+  CHECK_OK(server.Enqueue(MatmulSpec(), "big0"));
+  CHECK_OK(server.Enqueue(MatmulSpec(), "big1"));
+  const std::vector<Outcome> outcomes = server.Drain();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status;
+  EXPECT_TRUE(outcomes[1].status.ok()) << outcomes[1].status;
+  EXPECT_EQ(outcomes[0].batch, 1);
+  EXPECT_EQ(outcomes[1].batch, 2);
+  EXPECT_EQ(server.QueueDepth(), 0);
+}
+
+// --- ingress and isolation --------------------------------------------------
+
+TEST(Serve, EnqueueRejectsUnregisteredReference) {
+  Server server = MakeServer();
+  RegisterTestRelations(server);
+  serve::QuerySpec spec = MatmulSpec();
+  spec.edges[1].source = "@nope";
+  const Status status = server.Enqueue(spec, "bad");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("'@nope'"), std::string::npos);
+  EXPECT_EQ(server.QueueDepth(), 0);
+}
+
+TEST(Serve, DuplicateRegistrationIsFailedPrecondition) {
+  Server server = MakeServer();
+  RegisterTestRelations(server);
+  Relation<S> rel(Schema{0, 1});
+  const Status status = server.RegisterRelation("ab", std::move(rel));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// A query that exhausts its recovery attempts under injected faults must
+// fail with ResourceExhausted — and leave the server serving: the very
+// next query (same shape, clean options) runs to the correct result.
+TEST(Serve, FaultExhaustedQueryDoesNotTakeDownTheServer) {
+  Server reference = MakeServer();
+  RegisterTestRelations(reference);
+  CHECK_OK(reference.Enqueue(MatmulSpec(), "ref"));
+  const std::vector<Outcome> ref_out = reference.Drain();
+  ASSERT_EQ(ref_out.size(), 1u);
+  ASSERT_TRUE(ref_out[0].status.ok()) << ref_out[0].status;
+
+  Server server = MakeServer();
+  RegisterTestRelations(server);
+  plan::ExecutionOptions doomed;
+  doomed.faults.enabled = true;
+  doomed.faults.seed = 3;
+  doomed.faults.crashes = 2;
+  doomed.faults.stragglers = 0;
+  doomed.faults.corruptions = 0;
+  doomed.faults.horizon = 2;  // the crash fires within two charged rounds
+  doomed.checkpoint_interval = 2;
+  doomed.max_attempts = 1;  // one crash exhausts the attempt budget
+  CHECK_OK(server.Enqueue(MatmulSpec(), "doomed", doomed));
+  CHECK_OK(server.Enqueue(MatmulSpec(), "after"));
+  const std::vector<Outcome> outcomes = server.Drain();
+  ASSERT_EQ(outcomes.size(), 2u);
+
+  EXPECT_FALSE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[0].status.code(), StatusCode::kResourceExhausted)
+      << outcomes[0].status;
+  EXPECT_EQ(outcomes[0].result.size(), 0);
+
+  ASSERT_TRUE(outcomes[1].status.ok()) << outcomes[1].status;
+  // The follow-up even cache-hits the plan the doomed query planned.
+  EXPECT_TRUE(outcomes[1].cache_hit);
+  EXPECT_EQ(outcomes[1].result, ref_out[0].result);
+
+  EXPECT_EQ(server.metrics().failed, 1);
+  EXPECT_EQ(server.metrics().served, 1);
+}
+
+// Recovery that stays within its attempt budget is invisible to the
+// client: same Outcome results as a fault-free run.
+TEST(Serve, RecoveredQueryMatchesFaultFreeResult) {
+  Server reference = MakeServer();
+  RegisterTestRelations(reference);
+  CHECK_OK(reference.Enqueue(MatmulSpec(), "ref"));
+  const std::vector<Outcome> ref_out = reference.Drain();
+  ASSERT_EQ(ref_out.size(), 1u);
+
+  Server server = MakeServer();
+  RegisterTestRelations(server);
+  plan::ExecutionOptions bumpy;
+  bumpy.faults.enabled = true;
+  bumpy.faults.seed = 5;
+  bumpy.faults.crashes = 1;
+  bumpy.faults.stragglers = 1;
+  bumpy.faults.corruptions = 1;
+  bumpy.checkpoint_interval = 2;
+  CHECK_OK(server.Enqueue(MatmulSpec(), "bumpy", bumpy));
+  const std::vector<Outcome> outcomes = server.Drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].status.ok()) << outcomes[0].status;
+  EXPECT_EQ(outcomes[0].result, ref_out[0].result);
+  EXPECT_GE(outcomes[0].plan.recovery.attempts, 1);
+  // Checkpointing traffic is charged to the resilience ledger.
+  EXPECT_GT(outcomes[0].plan.execution_stats.recovery_comm, 0);
+}
+
+}  // namespace
+}  // namespace parjoin

@@ -43,6 +43,13 @@ REQUIRED = {
 OPTIONAL = {
     "critical_path": (int, 0),
     "recovery_comm": (int, 0),
+    # Serving-runtime metrics (E7 entries from bench_serving).
+    "qps": ((int, float), 0),
+    "p50_ms": ((int, float), 0),
+    "p99_ms": ((int, float), 0),
+    "cache_hit_rate": ((int, float), 0),
+    "cold_plan_ms": ((int, float), 0),
+    "warm_plan_ms": ((int, float), 0),
 }
 
 
@@ -92,6 +99,10 @@ def validate(doc):
         for field in entry:
             if field not in REQUIRED and field not in OPTIONAL:
                 errors.append(f"{where}: unknown field '{field}'")
+        rate = entry.get("cache_hit_rate")
+        if (isinstance(rate, (int, float)) and not isinstance(rate, bool)
+                and rate > 1):
+            errors.append(f"{where}: field 'cache_hit_rate' = {rate} > 1")
         key = (entry.get("experiment"), entry.get("name"))
         if None not in key:
             if key in seen:
@@ -120,6 +131,12 @@ GOOD_ENTRY = {
     "total_comm": 8,
 }
 
+GOOD_SERVING_ENTRY = dict(
+    GOOD_ENTRY, experiment="E7", name="serving/mixed/fifo/q=60/p=16",
+    qps=120.5, p50_ms=3.25, p99_ms=9.75, cache_hit_rate=0.95,
+    cold_plan_ms=4.0, warm_plan_ms=0.002,
+)
+
 SELF_TEST_CASES = [
     # (description, document, should_pass)
     ("minimal valid", {"schema": SCHEMA, "entries": [GOOD_ENTRY]}, True),
@@ -127,6 +144,19 @@ SELF_TEST_CASES = [
      {"schema": SCHEMA,
       "entries": [dict(GOOD_ENTRY, critical_path=3, recovery_comm=0)]},
      True),
+    ("E7 serving entry",
+     {"schema": SCHEMA, "entries": [GOOD_SERVING_ENTRY]}, True),
+    ("serving metrics negative",
+     {"schema": SCHEMA, "entries": [dict(GOOD_SERVING_ENTRY, qps=-1)]},
+     False),
+    ("cache hit rate above one",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_SERVING_ENTRY, cache_hit_rate=1.5)]},
+     False),
+    ("serving metric wrong type",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_SERVING_ENTRY, p99_ms="9.75")]},
+     False),
     ("empty entries", {"schema": SCHEMA, "entries": []}, True),
     ("wrong schema", {"schema": "v0", "entries": []}, False),
     ("entries not a list", {"schema": SCHEMA, "entries": {}}, False),

@@ -44,7 +44,8 @@ Rules (ids used by `// parjoin-lint: allow(<id>): <why>` suppressions):
   include-hygiene      Project headers are quote-included by full path;
                        C++ standard headers are angle-included; a .cc file
                        includes its own header first.
-  ingress-status       On input-facing paths (relation/io.*, workload/),
+  ingress-status       On input-facing paths (relation/io.*, workload/,
+                       serve/ — the parjoind query-ingress layer),
                        CHECK* macros and LOG(FATAL) are banned except
                        CHECK_OK: malformed *input* must surface as
                        Status/StatusOr (common/status.h) so callers like
@@ -292,6 +293,7 @@ def check_cross_part_write(rel, raw, code, findings):
 
 def check_ingress_status(rel, raw, code, findings):
     if not (rel.startswith("src/parjoin/workload/") or
+            rel.startswith("src/parjoin/serve/") or
             rel.startswith("src/parjoin/relation/io.")):
         return
     pat = re.compile(r"\b(CHECK(?:_[A-Z]+)?|LOG)\s*\(")
@@ -475,6 +477,9 @@ SELF_TEST_CASES = [
     ("ingress-status", "src/parjoin/relation/io.cc",
      "#include \"parjoin/relation/io.h\"\n"
      "void f() { LOG(FATAL) << \"bad csv\"; }\n"),
+    ("ingress-status", "src/parjoin/serve/bad_spec.cc",
+     "#include \"parjoin/serve/bad_spec.h\"\n"
+     "void f(int tokens) { CHECK_EQ(tokens, 2); }\n"),
     ("header-guard", "src/parjoin/common/bad_guard.h",
      "#pragma once\n"
      "inline int f() { return 1; }\n"),
