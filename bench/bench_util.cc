@@ -67,6 +67,18 @@ std::string FormatEntry(const BenchJsonEntry& e) {
                   e.serving.warm_plan_ms);
     line += buf;
   }
+  if (e.calibration.present) {
+    std::snprintf(buf, sizeof(buf),
+                  ", \"chosen_unit\": \"%s\", "
+                  "\"chosen_calibrated\": \"%s\", "
+                  "\"measured_best\": \"%s\", \"corrected\": %d, "
+                  "\"calib_factor\": %.4f",
+                  e.calibration.chosen_unit.c_str(),
+                  e.calibration.chosen_calibrated.c_str(),
+                  e.calibration.measured_best.c_str(),
+                  e.calibration.corrected, e.calibration.calib_factor);
+    line += buf;
+  }
   line += "}";
   return line;
 }

@@ -57,6 +57,18 @@ struct ServingMetrics {
   double warm_plan_ms = 0;     // mean plan-retrieval time on cache hits
 };
 
+// Planner-calibration metrics (E8): emitted into the entry only when
+// `present`. The three algorithm names must not contain '"' (they come
+// from AlgorithmName; no escaping is performed).
+struct CalibrationMetrics {
+  bool present = false;
+  std::string chosen_unit;        // planner's pick with constant-1 bounds
+  std::string chosen_calibrated;  // pick with profile-fitted factors
+  std::string measured_best;      // ground truth: argmin measured load
+  int corrected = 0;   // 1 iff calibration fixed a wrong unit-constant pick
+  double calib_factor = 0;  // fitted factor behind the calibrated pick
+};
+
 struct BenchJsonEntry {
   std::string experiment;  // e.g. "E1"
   std::string name;        // e.g. "sort/n=1048576/p=64/threads=4"
@@ -65,6 +77,7 @@ struct BenchJsonEntry {
   int threads = 0;         // ParallelForThreads() at measurement time
   RunResult result;
   ServingMetrics serving;
+  CalibrationMetrics calibration;
 };
 
 // Path of the trajectory file: $PARJOIN_BENCH_JSON if set, else

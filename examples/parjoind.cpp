@@ -14,6 +14,14 @@
 //   --checkpoint-interval=<r>    replicate state every r rounds (r >= 0)
 //   --load-budget-factor=<f>     per-round guardrail: abort rounds above
 //                                f x predicted load and degrade (f > 0)
+//   --trace-out=<file>           write a parjoin-trace-v1 JSONL round
+//                                trace of every execution (obs/trace.h)
+//   --metrics-out=<file>         dump the metrics registry as JSON
+//   --profile=<file>             persistent execution profile: merged
+//                                across runs, written back on exit
+//   --calibration=<file>         planner constant factors fitted from a
+//                                profile (tools: query_runner
+//                                --fit-calibration)
 //
 // The workload grammar lives in serve/spec.h: `register` relations once
 // (load + Distribute + KMV sketches at registration), then `query` blocks
@@ -32,6 +40,9 @@
 
 #include "parjoin/common/status.h"
 #include "parjoin/common/stopwatch.h"
+#include "parjoin/obs/metrics.h"
+#include "parjoin/obs/profile.h"
+#include "parjoin/obs/trace.h"
 #include "parjoin/relation/io.h"
 #include "parjoin/semiring/semirings.h"
 #include "parjoin/serve/flags.h"
@@ -42,18 +53,61 @@ namespace {
 
 using S = parjoin::CountingSemiring;
 
+// Observability flags: where to write the trace/metrics dumps and which
+// profile/calibration files to use.
+struct ObsPaths {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string profile;
+  std::string calibration;
+};
+
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--plan-cache-capacity=<n>] [--load-budget=<tuples>]"
                " [--faults=<seed>] [--checkpoint-interval=<r>]"
-               " [--load-budget-factor=<f>] <workload-file> | --demo[=<dir>]"
+               " [--load-budget-factor=<f>] [--trace-out=<file>]"
+               " [--metrics-out=<file>] [--profile=<file>]"
+               " [--calibration=<file>] <workload-file> | --demo[=<dir>]"
                "\n";
   return 2;
 }
 
 int RunWorkload(const parjoin::serve::WorkloadSpec& workload,
-                parjoin::serve::ServerOptions server_options) {
+                parjoin::serve::ServerOptions server_options,
+                const ObsPaths& obs_paths) {
   server_options.p = workload.p;
+
+  // Profile store: prior runs merged in, this run's executions recorded,
+  // written back on exit — the "gets faster with traffic" loop.
+  parjoin::obs::ProfileStore profile;
+  if (!obs_paths.profile.empty()) {
+    auto loaded = parjoin::obs::ProfileStore::LoadOrEmpty(obs_paths.profile);
+    if (!loaded.ok()) {
+      std::cerr << "error: " << loaded.status() << "\n";
+      return 1;
+    }
+    profile = std::move(loaded).value();
+    server_options.exec.profile = &profile;
+  }
+
+  parjoin::plan::CalibrationTable calibration;
+  if (!obs_paths.calibration.empty()) {
+    auto loaded = parjoin::obs::LoadCalibrationFile(obs_paths.calibration);
+    if (!loaded.ok()) {
+      std::cerr << "error: " << loaded.status() << "\n";
+      return 1;
+    }
+    calibration = std::move(loaded).value();
+    server_options.planner.calibration = &calibration;
+  }
+
+  parjoin::obs::TraceRecorder trace("parjoind");
+  if (!obs_paths.trace_out.empty()) {
+    trace.Annotate("p", std::to_string(workload.p));
+    server_options.observer = &trace;
+  }
+
   parjoin::serve::Server<S> server(std::move(server_options));
   if (const parjoin::Status reg = server.RegisterWorkload(workload);
       !reg.ok()) {
@@ -130,6 +184,63 @@ int RunWorkload(const parjoin::serve::WorkloadSpec& workload,
                 m.warm_plan_ms_total / static_cast<double>(m.warm_plans),
                 static_cast<long long>(m.warm_plans));
   }
+  std::printf("Batches (admitted queries, ticket load%s):\n",
+              server.options().load_budget > 0 ? ", carry-over" : "");
+  for (const auto& b : server.batch_stats()) {
+    std::printf("  batch %d: %d admitted, ticket load %.1f", b.batch,
+                b.admitted, b.ticket_load);
+    if (server.options().load_budget > 0) {
+      std::printf("/%.1f", server.options().load_budget);
+    }
+    if (b.carried_in) std::printf(", carried-in query");
+    if (b.carried_out) {
+      std::printf(", carries '%s' out", b.carried_out_label.c_str());
+    }
+    std::printf("\n");
+  }
+  {
+    auto& reg = server.metrics_registry();
+    parjoin::obs::Histogram* latency = reg.GetHistogram(
+        "query_latency_ms", parjoin::obs::DefaultLatencyBucketsMs());
+    if (latency->Count() > 0) {
+      std::printf("Latency: p50 %.3f ms, p99 %.3f ms; qps %.1f\n",
+                  latency->Quantile(0.5), latency->Quantile(0.99),
+                  reg.GetGauge("qps")->Value());
+    }
+  }
+
+  if (!obs_paths.trace_out.empty()) {
+    if (const parjoin::Status s = trace.WriteFile(obs_paths.trace_out);
+        !s.ok()) {
+      std::cerr << "error: " << s << "\n";
+      return 1;
+    }
+    std::printf("Trace: %lld round(s), %lld event(s) -> %s\n",
+                static_cast<long long>(trace.rounds().size()),
+                static_cast<long long>(trace.events().size()),
+                obs_paths.trace_out.c_str());
+  }
+  if (!obs_paths.metrics_out.empty()) {
+    server.SyncMetrics();
+    if (const parjoin::Status s =
+            server.metrics_registry().WriteFile(obs_paths.metrics_out);
+        !s.ok()) {
+      std::cerr << "error: " << s << "\n";
+      return 1;
+    }
+    std::printf("Metrics -> %s\n", obs_paths.metrics_out.c_str());
+  }
+  if (!obs_paths.profile.empty()) {
+    if (const parjoin::Status s = profile.SaveFile(obs_paths.profile);
+        !s.ok()) {
+      std::cerr << "error: " << s << "\n";
+      return 1;
+    }
+    std::printf("Profile: %lld cell(s), %lld run(s) -> %s\n",
+                static_cast<long long>(profile.cells().size()),
+                static_cast<long long>(profile.total_runs()),
+                obs_paths.profile.c_str());
+  }
   return 0;
 }
 
@@ -203,6 +314,7 @@ int main(int argc, char** argv) {
   bool demo = false;
   std::string demo_dir = "/tmp/parjoind_demo";
   parjoin::serve::ServerOptions server_options;
+  ObsPaths obs_paths;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -266,6 +378,30 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       server_options.exec.load_budget_factor = *factor;
+    } else if (parjoin::serve::MatchFlag(arg, "trace-out", &value)) {
+      if (value.empty()) {
+        std::cerr << "error: --trace-out needs a file path\n";
+        return Usage(argv[0]);
+      }
+      obs_paths.trace_out = value;
+    } else if (parjoin::serve::MatchFlag(arg, "metrics-out", &value)) {
+      if (value.empty()) {
+        std::cerr << "error: --metrics-out needs a file path\n";
+        return Usage(argv[0]);
+      }
+      obs_paths.metrics_out = value;
+    } else if (parjoin::serve::MatchFlag(arg, "profile", &value)) {
+      if (value.empty()) {
+        std::cerr << "error: --profile needs a file path\n";
+        return Usage(argv[0]);
+      }
+      obs_paths.profile = value;
+    } else if (parjoin::serve::MatchFlag(arg, "calibration", &value)) {
+      if (value.empty()) {
+        std::cerr << "error: --calibration needs a file path\n";
+        return Usage(argv[0]);
+      }
+      obs_paths.calibration = value;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "error: unknown flag " << arg << "\n";
       return Usage(argv[0]);
@@ -298,5 +434,5 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << workload.status() << "\n";
     return 1;
   }
-  return RunWorkload(*workload, std::move(server_options));
+  return RunWorkload(*workload, std::move(server_options), obs_paths);
 }

@@ -12,6 +12,16 @@
 //   --load-budget-factor=<f>     abort rounds above f x predicted load and
 //                                degrade onto the Yannakakis baseline
 //                                (f > 0)
+//   --trace-out=<file>           write a parjoin-trace-v1 JSONL round
+//                                trace of the execution
+//   --profile=<file>             merge predicted-vs-measured samples from
+//                                this run into a parjoin-profile-v1 store
+//                                (created if missing)
+//   --calibration=<file>         load a parjoin-calibration-v1 table and
+//                                plan with profile-calibrated constants
+//   --fit-calibration=<file>     after the run, fit the (updated) profile
+//                                store into a calibration file (needs
+//                                --profile)
 //
 // The spec grammar lives in serve/spec.h (shared with parjoind); this
 // binary accepts CSV-path edge sources only — @name references need a
@@ -30,6 +40,8 @@
 #include <vector>
 
 #include "parjoin/common/status.h"
+#include "parjoin/obs/profile.h"
+#include "parjoin/obs/trace.h"
 #include "parjoin/plan/executor.h"
 #include "parjoin/relation/io.h"
 #include "parjoin/semiring/semirings.h"
@@ -40,15 +52,27 @@ namespace {
 
 using S = parjoin::CountingSemiring;
 
+// Observability file paths (all optional; empty = off).
+struct ObsOptions {
+  std::string trace_out;
+  std::string profile;
+  std::string calibration;
+  std::string fit_calibration;
+};
+
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json] [--faults=<seed>] [--checkpoint-interval=<r>]"
-               " [--load-budget-factor=<f>] <spec-file> | --demo[=<dir>]\n";
+               " [--load-budget-factor=<f>] [--trace-out=<file>]"
+               " [--profile=<file>] [--calibration=<file>]"
+               " [--fit-calibration=<file>]"
+               " <spec-file> | --demo[=<dir>]\n";
   return 2;
 }
 
 int RunSpec(const parjoin::serve::QuerySpec& spec, bool dump_json,
-            const parjoin::plan::ExecutionOptions& exec_options) {
+            parjoin::plan::ExecutionOptions exec_options,
+            const ObsOptions& obs) {
   std::vector<parjoin::QueryEdge> edges;
   for (const auto& e : spec.edges) edges.push_back({e.u, e.v});
   auto query = parjoin::JoinTree::Create(edges, spec.outputs);
@@ -76,9 +100,37 @@ int RunSpec(const parjoin::serve::QuerySpec& spec, bool dump_json,
     return 1;
   }
 
+  parjoin::plan::PlannerOptions planner_options;
+  parjoin::plan::CalibrationTable calibration;
+  if (!obs.calibration.empty()) {
+    auto loaded = parjoin::obs::LoadCalibrationFile(obs.calibration);
+    if (!loaded.ok()) {
+      std::cerr << "error: " << loaded.status() << "\n";
+      return 1;
+    }
+    calibration = std::move(loaded).value();
+    planner_options.calibration = &calibration;
+    std::cout << "  calibration: " << calibration.entries().size()
+              << " factor(s) from " << obs.calibration << "\n";
+  }
+  parjoin::obs::ProfileStore profile;
+  if (!obs.profile.empty()) {
+    auto loaded = parjoin::obs::ProfileStore::LoadOrEmpty(obs.profile);
+    if (!loaded.ok()) {
+      std::cerr << "error: " << loaded.status() << "\n";
+      return 1;
+    }
+    profile = std::move(loaded).value();
+    exec_options.profile = &profile;
+  }
+  parjoin::obs::TraceRecorder trace("query_runner");
+  if (!obs.trace_out.empty()) {
+    trace.Annotate("p", std::to_string(spec.p));
+    cluster.SetObserver(&trace);
+  }
+
   auto exec = parjoin::plan::PlanAndRun(cluster, std::move(instance),
-                                        parjoin::plan::PlannerOptions{},
-                                        exec_options);
+                                        planner_options, exec_options);
   std::cout << "\n" << exec.plan.ToText() << "\n";
   if (dump_json) std::cout << exec.plan.ToJson() << "\n\n";
   parjoin::Relation<S> local = exec.result.ToLocal();
@@ -114,11 +166,44 @@ int RunSpec(const parjoin::serve::QuerySpec& spec, bool dump_json,
       std::cout << "  - " << event << "\n";
     }
   }
+  if (!obs.trace_out.empty()) {
+    if (const parjoin::Status saved = trace.WriteFile(obs.trace_out);
+        !saved.ok()) {
+      std::cerr << "error: " << saved << "\n";
+      return 1;
+    }
+    std::cout << "Trace: " << trace.rounds().size() << " round(s), "
+              << trace.events().size() << " event(s) -> " << obs.trace_out
+              << "\n";
+  }
+  if (!obs.profile.empty()) {
+    if (const parjoin::Status saved = profile.SaveFile(obs.profile);
+        !saved.ok()) {
+      std::cerr << "error: " << saved << "\n";
+      return 1;
+    }
+    std::cout << "Profile: " << profile.cells().size() << " cell(s), "
+              << profile.total_runs() << " run(s) -> " << obs.profile
+              << "\n";
+  }
+  if (!obs.fit_calibration.empty()) {
+    const parjoin::plan::CalibrationTable fitted =
+        parjoin::obs::FitCalibration(profile);
+    if (const parjoin::Status saved =
+            parjoin::obs::SaveCalibrationFile(fitted, obs.fit_calibration);
+        !saved.ok()) {
+      std::cerr << "error: " << saved << "\n";
+      return 1;
+    }
+    std::cout << "Calibration: " << fitted.entries().size()
+              << " factor(s) -> " << obs.fit_calibration << "\n";
+  }
   return 0;
 }
 
 int WriteDemoAndRun(const std::string& dir, bool dump_json,
-                    const parjoin::plan::ExecutionOptions& exec_options) {
+                    const parjoin::plan::ExecutionOptions& exec_options,
+                    const ObsOptions& obs) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -156,7 +241,7 @@ int WriteDemoAndRun(const std::string& dir, bool dump_json,
     return 1;
   }
   std::cout << "Demo spec written to " << dir << "/query.spec\n\n";
-  return RunSpec(*spec, dump_json, exec_options);
+  return RunSpec(*spec, dump_json, exec_options, obs);
 }
 
 }  // namespace
@@ -166,6 +251,7 @@ int main(int argc, char** argv) {
   bool demo = false;
   std::string demo_dir = "/tmp/parjoin_demo";
   parjoin::plan::ExecutionOptions exec_options;
+  ObsOptions obs;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -210,6 +296,30 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       exec_options.load_budget_factor = *factor;
+    } else if (parjoin::serve::MatchFlag(arg, "trace-out", &value)) {
+      if (value.empty()) {
+        std::cerr << "error: --trace-out needs a file path\n";
+        return Usage(argv[0]);
+      }
+      obs.trace_out = value;
+    } else if (parjoin::serve::MatchFlag(arg, "profile", &value)) {
+      if (value.empty()) {
+        std::cerr << "error: --profile needs a file path\n";
+        return Usage(argv[0]);
+      }
+      obs.profile = value;
+    } else if (parjoin::serve::MatchFlag(arg, "calibration", &value)) {
+      if (value.empty()) {
+        std::cerr << "error: --calibration needs a file path\n";
+        return Usage(argv[0]);
+      }
+      obs.calibration = value;
+    } else if (parjoin::serve::MatchFlag(arg, "fit-calibration", &value)) {
+      if (value.empty()) {
+        std::cerr << "error: --fit-calibration needs a file path\n";
+        return Usage(argv[0]);
+      }
+      obs.fit_calibration = value;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "error: unknown flag " << arg << "\n";
       return Usage(argv[0]);
@@ -217,12 +327,16 @@ int main(int argc, char** argv) {
       args.push_back(arg);
     }
   }
+  if (!obs.fit_calibration.empty() && obs.profile.empty()) {
+    std::cerr << "error: --fit-calibration needs --profile\n";
+    return Usage(argv[0]);
+  }
   if (demo) {
     if (!args.empty()) {
       std::cerr << "error: --demo takes no spec file\n";
       return Usage(argv[0]);
     }
-    return WriteDemoAndRun(demo_dir, dump_json, exec_options);
+    return WriteDemoAndRun(demo_dir, dump_json, exec_options, obs);
   }
   if (args.size() != 1) {
     return Usage(argv[0]);
@@ -240,5 +354,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return RunSpec(*spec, dump_json, exec_options);
+  return RunSpec(*spec, dump_json, exec_options, obs);
 }

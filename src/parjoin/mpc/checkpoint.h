@@ -45,6 +45,7 @@ struct DistSnapshot {
 // the snapshot is recorded as unrecoverable and no self-copy is charged.
 template <typename T>
 DistSnapshot<T> CheckpointDist(Cluster& cluster, const Dist<T>& d) {
+  TraceScope trace(cluster, "checkpoint");
   const int n = d.num_parts();
   DistSnapshot<T> snap;
   snap.parts.reserve(static_cast<std::size_t>(n));
@@ -67,6 +68,7 @@ DistSnapshot<T> CheckpointDist(Cluster& cluster, const Dist<T>& d) {
 // replicas to their (possibly new) hosts.
 template <typename T>
 Dist<T> RestoreDist(Cluster& cluster, const DistSnapshot<T>& snap) {
+  TraceScope trace(cluster, "restore");
   CHECK(snap.recoverable)
       << "restoring a single-partition snapshot: no neighbor replica "
          "survives its only host";

@@ -42,6 +42,7 @@
 #include "parjoin/common/logging.h"
 #include "parjoin/common/random.h"
 #include "parjoin/mpc/faults.h"
+#include "parjoin/mpc/observer.h"
 
 namespace parjoin {
 namespace mpc {
@@ -143,6 +144,16 @@ class Cluster {
   // Exchange computes per-destination checksums only when this is true.
   bool ChecksumVerificationEnabled() const { return faults_enabled_; }
 
+  // --- Observation ----------------------------------------------------------
+
+  // Attaches (or, with nullptr, detaches) a read-only round observer
+  // (mpc/observer.h). The observer sees every charged round and fault
+  // event after the ledger is updated; it can never perturb charges,
+  // outputs, or the rng stream. With no observer attached the cost is one
+  // null check per charged round.
+  void SetObserver(RoundObserver* observer) { observer_ = observer; }
+  RoundObserver* observer() const { return observer_; }
+
   // Called by Exchange with the FNV checksum of each destination's message
   // before delivery is charged. If a corruption event is due, one
   // destination's wire checksum arrives XOR-masked; the mismatch is
@@ -182,6 +193,10 @@ class Cluster {
           std::to_string(charged_rounds_ + 1) + ": dest " +
           std::to_string(victim) + " checksum mismatch (mask " +
           std::to_string(e.corruption_mask) + "), retransmitted");
+      if (observer_ != nullptr) {
+        observer_->OnEvent("retransmit", charged_rounds_ + 1,
+                           fault_log_.back());
+      }
       return true;
     }
     return false;
@@ -293,6 +308,10 @@ class Cluster {
             "straggler at round " + std::to_string(charged_rounds_) +
             ": server " + std::to_string(e.server) + " delayed x" +
             std::to_string(e.factor));
+        if (observer_ != nullptr) {
+          observer_->OnEvent("straggler", charged_rounds_,
+                             fault_log_.back());
+        }
       }
     }
     stats_.critical_path = CheckedAdd(
@@ -306,6 +325,16 @@ class Cluster {
       stats_.recovery_comm =
           CheckedAdd(stats_.recovery_comm, pending_retransmit_comm_);
       pending_retransmit_comm_ = 0;
+    }
+
+    if (observer_ != nullptr) {
+      RoundRecord record;
+      record.round = charged_rounds_;
+      record.max_load = round_max;
+      record.tuples = moved;
+      record.recovery = recovery;
+      record.straggle_factor = factor;
+      observer_->OnRound(record);
     }
 
     if (!recovery && ckpt_interval_ > 0) {
@@ -324,6 +353,10 @@ class Cluster {
       abort.round_load = round_max;
       abort.budget = load_budget_;
       fault_log_.push_back("budget abort: " + abort.ToString());
+      if (observer_ != nullptr) {
+        observer_->OnEvent("budget_abort", charged_rounds_,
+                           fault_log_.back());
+      }
       throw abort;
     }
 
@@ -344,6 +377,9 @@ class Cluster {
         abort.round_load = round_max;
         fault_log_.push_back("crash: " + abort.ToString() + ", " +
                              std::to_string(live_) + " servers remain");
+        if (observer_ != nullptr) {
+          observer_->OnEvent("crash", charged_rounds_, fault_log_.back());
+        }
         throw abort;
       }
     }
@@ -367,6 +403,18 @@ class Cluster {
     stats_.critical_path = CheckedAdd(stats_.critical_path, rep_max);
     std::fill(since_ckpt_.begin(), since_ckpt_.end(), 0);
     rounds_since_ckpt_ = 0;
+    if (observer_ != nullptr) {
+      RoundRecord record;
+      record.round = charged_rounds_;
+      record.max_load = rep_max;
+      record.tuples = rep_moved;
+      record.recovery = true;
+      observer_->OnRound(record);
+      observer_->OnEvent(
+          "checkpoint", charged_rounds_,
+          "interval checkpoint replication, " + std::to_string(rep_moved) +
+              " tuple(s)");
+    }
   }
 
   // After a crash, traffic accumulated toward the next checkpoint follows
@@ -400,6 +448,30 @@ class Cluster {
   int rounds_since_ckpt_ = 0;
   std::vector<std::int64_t> since_ckpt_;
   std::int64_t pending_retransmit_comm_ = 0;
+
+  RoundObserver* observer_ = nullptr;
+};
+
+// RAII scope label for trace attribution: primitives and the executor wrap
+// their charged work in `TraceScope scope(cluster, "sort");` so the
+// observer can attribute rounds. A no-op (one null check) when no observer
+// is attached. The observer pointer is captured at construction: scopes
+// are short-lived and observers are attached/detached between queries,
+// never inside a primitive.
+class TraceScope {
+ public:
+  TraceScope(Cluster& cluster, const char* name)
+      : observer_(cluster.observer()) {
+    if (observer_ != nullptr) observer_->PushScope(name);
+  }
+  ~TraceScope() {
+    if (observer_ != nullptr) observer_->PopScope();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  RoundObserver* observer_;
 };
 
 // RAII guard for a parallel region; call NextBranch() before each branch.

@@ -96,6 +96,7 @@ template <typename T, typename Route>
 Dist<T> Exchange(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
                  Route route) {
   CHECK_GT(num_dest_parts, 0);
+  TraceScope trace(cluster, "exchange");
   Dist<T> out(num_dest_parts);
   std::vector<std::int64_t> received(static_cast<size_t>(num_dest_parts), 0);
   const int num_src = in.num_parts();
@@ -140,6 +141,7 @@ Dist<T> Exchange(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
 template <typename T, typename RouteMulti>
 Dist<T> ExchangeMulti(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
                       RouteMulti route_multi) {
+  TraceScope trace(cluster, "exchange_multi");
   CHECK_GT(num_dest_parts, 0);
   Dist<T> out(num_dest_parts);
   std::vector<std::int64_t> received(static_cast<size_t>(num_dest_parts), 0);
@@ -188,6 +190,7 @@ Dist<T> ExchangeMulti(Cluster& cluster, const Dist<T>& in, int num_dest_parts,
 // virtual; the charge lands on physical server dest_part mod p).
 template <typename T>
 std::vector<T> Gather(Cluster& cluster, const Dist<T>& in, int dest_part = 0) {
+  TraceScope trace(cluster, "gather");
   std::vector<std::int64_t> received(
       static_cast<size_t>(std::max(dest_part + 1, 1)), 0);
   std::vector<T> out = in.Flatten();
@@ -202,6 +205,7 @@ std::vector<T> Gather(Cluster& cluster, const Dist<T>& in, int dest_part = 0) {
 // in parallel; the last part takes the flattened buffer by move.
 template <typename T>
 Dist<T> Broadcast(Cluster& cluster, const Dist<T>& in) {
+  TraceScope trace(cluster, "broadcast");
   const int p = cluster.p();
   std::vector<T> all = in.Flatten();
   Dist<T> out(p);
@@ -218,6 +222,7 @@ Dist<T> Broadcast(Cluster& cluster, const Dist<T>& in) {
 // std::move(dist) to avoid copying the parts.
 template <typename T>
 Dist<T> Rebalance(Cluster& cluster, Dist<T> in, int num_parts) {
+  TraceScope trace(cluster, "rebalance");
   Dist<T> out = ScatterEvenly(in.TakeFlatten(), num_parts);
   std::vector<std::int64_t> received(static_cast<size_t>(num_parts), 0);
   for (int s = 0; s < num_parts; ++s) {

@@ -8,6 +8,7 @@ namespace mpc {
 std::vector<std::int64_t> MultiSearch(Cluster& cluster,
                                       const std::vector<std::int64_t>& xs,
                                       std::vector<std::int64_t> ys) {
+  TraceScope trace(cluster, "multi_search");
   const std::int64_t n =
       static_cast<std::int64_t>(xs.size() + ys.size());
   cluster.ChargeUniformRound((n + cluster.p() - 1) / cluster.p());

@@ -312,6 +312,7 @@ auto SummarizeKeyRuns(const Dist<T>& sorted, KeyFn key_fn) {
 // Consumes its input: pass std::move(dist) to avoid copying the parts.
 template <typename T, typename Less>
 Dist<T> Sort(Cluster& cluster, Dist<T> in, Less less, int num_parts = 0) {
+  TraceScope trace(cluster, "sort");
   if (num_parts == 0) num_parts = cluster.p();
   ParallelFor(in.num_parts(), [&](int s) {
     auto& part = in.part(s);
@@ -340,6 +341,7 @@ Dist<T> Sort(Cluster& cluster, Dist<T> in, Less less, int num_parts = 0) {
 template <typename T, typename KeyFn>
 Dist<T> SortGroupedByKey(Cluster& cluster, Dist<T> in, KeyFn key_fn,
                          int num_parts = 0) {
+  TraceScope trace(cluster, "sort_grouped");
   if (num_parts == 0) num_parts = cluster.p();
   Dist<T> sorted = Sort(
       cluster, std::move(in),
@@ -419,6 +421,7 @@ Dist<T> SortGroupedByKey(Cluster& cluster, Dist<T> in, KeyFn key_fn,
 template <typename T, typename KeyFn, typename CombineFn>
 Dist<T> ReduceByKey(Cluster& cluster, Dist<T>&& in, KeyFn key_fn,
                     CombineFn combine, int num_parts = 0) {
+  TraceScope trace(cluster, "reduce_by_key");
   if (num_parts == 0) num_parts = cluster.p();
 
   // Local pre-aggregation: sort each part by key in place, combine
@@ -531,6 +534,7 @@ struct PackedItem {
 
 inline std::vector<PackedItem> ParallelPacking(
     Cluster& cluster, std::vector<PackedItem> items) {
+  TraceScope trace(cluster, "packing");
   const std::int64_t n = static_cast<std::int64_t>(items.size());
   cluster.ChargeUniformRound((n + cluster.p() - 1) / cluster.p());
   cluster.ChargeUniformRound((n + cluster.p() - 1) / cluster.p());

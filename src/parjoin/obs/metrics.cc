@@ -1,0 +1,186 @@
+#include "parjoin/obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "parjoin/common/logging.h"
+#include "parjoin/obs/json_util.h"
+
+namespace parjoin {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  }
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  MutexLock lock(mu_);
+  counts_[bucket] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += 1;
+  sum_ += value;
+}
+
+std::int64_t Histogram::Count() const {
+  MutexLock lock(mu_);
+  return count_;
+}
+
+double Histogram::Sum() const {
+  MutexLock lock(mu_);
+  return sum_;
+}
+
+double Histogram::Min() const {
+  MutexLock lock(mu_);
+  return min_;
+}
+
+double Histogram::Max() const {
+  MutexLock lock(mu_);
+  return max_;
+}
+
+double Histogram::QuantileLocked(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank then
+  // interpolated within the covering bucket).
+  const double rank = q * static_cast<double>(count_);
+  std::int64_t cumulative = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const std::int64_t next = cumulative + counts_[b];
+    if (static_cast<double>(next) >= rank) {
+      // Bucket b covers the quantile. Interpolate between its bounds,
+      // clamped to the observed min/max so sparse histograms don't
+      // report values outside the data.
+      const double lo = b == 0 ? min_ : bounds_[b - 1];
+      const double hi = b == bounds_.size() ? max_ : bounds_[b];
+      const double inside =
+          counts_[b] == 0
+              ? 0
+              : (rank - static_cast<double>(cumulative)) /
+                    static_cast<double>(counts_[b]);
+      const double v = lo + (hi - lo) * std::clamp(inside, 0.0, 1.0);
+      return std::clamp(v, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+double Histogram::Quantile(double q) const {
+  MutexLock lock(mu_);
+  return QuantileLocked(q);
+}
+
+std::vector<std::int64_t> Histogram::BucketCounts() const {
+  MutexLock lock(mu_);
+  return counts_;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  // 1 us .. 16 s in powers of 4.
+  std::vector<double> bounds;
+  for (double b = 1e-3; b <= 16e3; b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  CHECK_EQ(gauges_.count(name) + histograms_.count(name), 0u)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  CHECK_EQ(counters_.count(name) + histograms_.count(name), 0u)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  MutexLock lock(mu_);
+  CHECK_EQ(counters_.count(name) + gauges_.count(name), 0u)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Copy the maps' pointers under the lock, then read each metric through
+  // its own lock (ToJson holding mu_ while calling metric getters would
+  // be fine too — the metric locks are leaves — but this keeps the
+  // registry lock short).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << JsonEscape(counters[i].first)
+       << "\":" << counters[i].second->Value();
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << JsonEscape(gauges[i].first)
+       << "\":" << JsonDouble(gauges[i].second->Value());
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) os << ',';
+    const Histogram& h = *histograms[i].second;
+    os << '"' << JsonEscape(histograms[i].first) << "\":{\"count\":"
+       << h.Count() << ",\"sum\":" << JsonDouble(h.Sum())
+       << ",\"min\":" << JsonDouble(h.Min())
+       << ",\"max\":" << JsonDouble(h.Max())
+       << ",\"p50\":" << JsonDouble(h.Quantile(0.5))
+       << ",\"p90\":" << JsonDouble(h.Quantile(0.9))
+       << ",\"p99\":" << JsonDouble(h.Quantile(0.99)) << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+Status MetricsRegistry::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return InvalidArgumentError("cannot open metrics output file: " + path);
+  }
+  out << ToJson() << '\n';
+  out.flush();
+  if (!out) {
+    return DataLossError("failed writing metrics output file: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace obs
+}  // namespace parjoin

@@ -15,6 +15,60 @@ double P23(int p) { return std::pow(D(p), 2.0 / 3.0); }
 
 }  // namespace
 
+void CalibrationTable::Set(Algorithm a, QueryShape shape, double factor,
+                           std::int64_t runs) {
+  CHECK(std::isfinite(factor) && factor > 0)
+      << "calibration factor for " << AlgorithmName(a) << " must be finite "
+      << "and positive, got " << factor;
+  for (Entry& e : entries_) {
+    if (e.algorithm == a && e.has_shape && e.shape == shape) {
+      e.factor = factor;
+      e.runs = runs;
+      return;
+    }
+  }
+  entries_.push_back(Entry{a, true, shape, factor, runs});
+}
+
+void CalibrationTable::SetDefault(Algorithm a, double factor,
+                                  std::int64_t runs) {
+  CHECK(std::isfinite(factor) && factor > 0)
+      << "calibration factor for " << AlgorithmName(a) << " must be finite "
+      << "and positive, got " << factor;
+  for (Entry& e : entries_) {
+    if (e.algorithm == a && !e.has_shape) {
+      e.factor = factor;
+      e.runs = runs;
+      return;
+    }
+  }
+  entries_.push_back(Entry{a, false, QueryShape::kTree, factor, runs});
+}
+
+double CalibrationTable::Factor(Algorithm a, QueryShape shape) const {
+  double fallback = 1;
+  for (const Entry& e : entries_) {
+    if (e.algorithm != a) continue;
+    if (e.has_shape && e.shape == shape) return e.factor;
+    if (!e.has_shape) fallback = e.factor;
+  }
+  return fallback;
+}
+
+StatusOr<Algorithm> AlgorithmFromName(const std::string& name) {
+  static constexpr Algorithm kAll[] = {
+      Algorithm::kSingleRelation,     Algorithm::kYannakakis,
+      Algorithm::kHyperCube,          Algorithm::kMatMulWorstCase,
+      Algorithm::kMatMulOutputSensitive, Algorithm::kLineTheorem4,
+      Algorithm::kStarTheorem5,       Algorithm::kStarLikeLemma7,
+      Algorithm::kTreeTheorem6,
+  };
+  for (Algorithm a : kAll) {
+    if (name == AlgorithmName(a)) return a;
+  }
+  return InvalidArgumentError("unknown algorithm name: '" + name + "'");
+}
+
 double YannakakisMatMulBound(std::int64_t n, std::int64_t out, int p) {
   return D(n) / p + D(n) * std::sqrt(D(out)) / p;
 }
@@ -74,44 +128,50 @@ bool Applicable(Algorithm a, QueryShape shape) {
   return false;
 }
 
-double PredictLoad(Algorithm a, QueryShape shape, const InstanceStats& s) {
+double PredictLoad(Algorithm a, QueryShape shape, const InstanceStats& s,
+                   const CalibrationTable* calibration) {
   CHECK(Applicable(a, shape))
       << AlgorithmName(a) << " cannot run a " << QueryShapeName(shape)
       << " instance";
+  const double factor =
+      calibration == nullptr ? 1.0 : calibration->Factor(a, shape);
   const int p = s.p;
   const std::int64_t n = s.total_input;
   const std::int64_t out = std::max<std::int64_t>(1, s.out_estimate);
   const std::int64_t j =
       std::max(out, std::max<std::int64_t>(1, s.join_estimate));
-  switch (a) {
-    case Algorithm::kSingleRelation:
-      return D(n + out) / p;
-    case Algorithm::kYannakakis:
-      // Measured-faithful baseline cost: scan the input, materialize the
-      // largest intermediate J, emit the output. When the planner could
-      // not estimate J this degrades to the Table 1 worst case via
-      // join_estimate's default (see planner.cc).
-      return D(n) / p + D(j + out) / p;
-    case Algorithm::kHyperCube:
-      // 3-attribute grid: shares p^{1/3}, every input tuple replicated to
-      // p^{1/3} cells, locally pre-aggregated full join reduced at the end.
-      return D(s.n1 + s.n2) / P23(p) + D(j) / p + D(out) / p;
-    case Algorithm::kMatMulWorstCase:
-      return D(s.n1 + s.n2) / p + std::sqrt(D(s.n1) * D(s.n2) / p);
-    case Algorithm::kMatMulOutputSensitive:
-      return D(s.n1 + s.n2) / p +
-             std::cbrt(D(s.n1) * D(s.n2) * D(out)) / P23(p) + D(out) / p;
-    case Algorithm::kLineTheorem4:
-    case Algorithm::kStarTheorem5:
-      return NewLineStarBound(n, out, p);
-    case Algorithm::kStarLikeLemma7:
-      // Lemma 7's exact expression needs N' (the star-like arm product
-      // sizes); Theorem 6's tree bound is the valid upper bound we can
-      // evaluate from (N, OUT) alone.
-    case Algorithm::kTreeTheorem6:
-      return NewTreeBound(n, out, p);
-  }
-  return 0;
+  const double base = [&]() -> double {
+    switch (a) {
+      case Algorithm::kSingleRelation:
+        return D(n + out) / p;
+      case Algorithm::kYannakakis:
+        // Measured-faithful baseline cost: scan the input, materialize the
+        // largest intermediate J, emit the output. When the planner could
+        // not estimate J this degrades to the Table 1 worst case via
+        // join_estimate's default (see planner.cc).
+        return D(n) / p + D(j + out) / p;
+      case Algorithm::kHyperCube:
+        // 3-attribute grid: shares p^{1/3}, every input tuple replicated to
+        // p^{1/3} cells, locally pre-aggregated full join reduced at the end.
+        return D(s.n1 + s.n2) / P23(p) + D(j) / p + D(out) / p;
+      case Algorithm::kMatMulWorstCase:
+        return D(s.n1 + s.n2) / p + std::sqrt(D(s.n1) * D(s.n2) / p);
+      case Algorithm::kMatMulOutputSensitive:
+        return D(s.n1 + s.n2) / p +
+               std::cbrt(D(s.n1) * D(s.n2) * D(out)) / P23(p) + D(out) / p;
+      case Algorithm::kLineTheorem4:
+      case Algorithm::kStarTheorem5:
+        return NewLineStarBound(n, out, p);
+      case Algorithm::kStarLikeLemma7:
+        // Lemma 7's exact expression needs N' (the star-like arm product
+        // sizes); Theorem 6's tree bound is the valid upper bound we can
+        // evaluate from (N, OUT) alone.
+      case Algorithm::kTreeTheorem6:
+        return NewTreeBound(n, out, p);
+    }
+    return 0;
+  }();
+  return factor * base;
 }
 
 const char* LoadFormula(Algorithm a, QueryShape shape) {
@@ -141,7 +201,8 @@ const char* LoadFormula(Algorithm a, QueryShape shape) {
 }
 
 std::vector<Candidate> ScoreCandidates(QueryShape shape,
-                                       const InstanceStats& stats) {
+                                       const InstanceStats& stats,
+                                       const CalibrationTable* calibration) {
   static constexpr Algorithm kAll[] = {
       Algorithm::kSingleRelation,     Algorithm::kYannakakis,
       Algorithm::kHyperCube,          Algorithm::kMatMulWorstCase,
@@ -159,7 +220,9 @@ std::vector<Candidate> ScoreCandidates(QueryShape shape,
     if (!Applicable(a, shape)) continue;
     Candidate c;
     c.algorithm = a;
-    c.predicted_load = PredictLoad(a, shape, stats);
+    c.predicted_load = PredictLoad(a, shape, stats, calibration);
+    c.calib_factor =
+        calibration == nullptr ? 1.0 : calibration->Factor(a, shape);
     c.formula = LoadFormula(a, shape);
     out.push_back(std::move(c));
   }

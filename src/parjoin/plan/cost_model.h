@@ -19,12 +19,56 @@
 #define PARJOIN_PLAN_COST_MODEL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "parjoin/common/status.h"
 #include "parjoin/plan/plan.h"
 
 namespace parjoin {
 namespace plan {
+
+// --- Profile-driven calibration ---------------------------------------------
+
+// Per-algorithm constant factors fitted from measured runs (the profile
+// store's obs::FitCalibration). PredictLoad multiplies its constant-1
+// Table 1 bound by the factor, so a calibrated planner ranks candidates by
+// *expected measured* load instead of the asymptotic expression. An empty
+// table — or a missing entry — is factor 1.0: the uncalibrated prediction.
+// Shape-specific entries win over the per-algorithm default because the
+// constants genuinely differ per shape (Yannakakis materializes different
+// intermediates on a star than on a line).
+class CalibrationTable {
+ public:
+  struct Entry {
+    Algorithm algorithm = Algorithm::kYannakakis;
+    bool has_shape = false;  // false: per-algorithm default, any shape
+    QueryShape shape = QueryShape::kTree;
+    double factor = 1;
+    std::int64_t runs = 0;  // fit support (#executions behind the factor)
+  };
+
+  // Upserts a (algorithm, shape) entry / an any-shape default. `factor`
+  // must be finite and > 0 (CHECK: factors come from our own fit).
+  void Set(Algorithm a, QueryShape shape, double factor,
+           std::int64_t runs = 0);
+  void SetDefault(Algorithm a, double factor, std::int64_t runs = 0);
+
+  // Shape-specific entry if present, else the algorithm's default entry,
+  // else 1.0.
+  double Factor(Algorithm a, QueryShape shape) const;
+
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  // A handful of algorithms x shapes: linear scan, deterministic order.
+  std::vector<Entry> entries_;
+};
+
+// Reverse lookups for calibration/profile files (external data: Status,
+// not CHECK). Names are the AlgorithmName / QueryShapeName spellings.
+StatusOr<Algorithm> AlgorithmFromName(const std::string& name);
 
 // --- Table 1 closed forms (constant 1) --------------------------------------
 
@@ -60,17 +104,23 @@ double MatMulLowerBound(std::int64_t n1, std::int64_t n2, std::int64_t out,
 // True iff `a` can execute an instance of this shape.
 bool Applicable(Algorithm a, QueryShape shape);
 
-// Predicted load of running `a` on an instance with `stats` (constant 1).
-// CHECK-fails when !Applicable(a, shape).
-double PredictLoad(Algorithm a, QueryShape shape, const InstanceStats& stats);
+// Predicted load of running `a` on an instance with `stats` (constant 1
+// when `calibration` is null or has no entry; otherwise the bound times the
+// fitted factor). CHECK-fails when !Applicable(a, shape).
+double PredictLoad(Algorithm a, QueryShape shape, const InstanceStats& stats,
+                   const CalibrationTable* calibration = nullptr);
 
 // The human-readable expression PredictLoad evaluates.
 const char* LoadFormula(Algorithm a, QueryShape shape);
 
 // Every applicable candidate, ascending by predicted load (ties broken by
-// enum order, so the dispatch is deterministic).
-std::vector<Candidate> ScoreCandidates(QueryShape shape,
-                                       const InstanceStats& stats);
+// enum order, so the dispatch is deterministic). With a calibration table,
+// predictions are scaled by the fitted factors (recorded per candidate in
+// Candidate::calib_factor) before ranking — this is where a profile can
+// flip a crossover decision.
+std::vector<Candidate> ScoreCandidates(
+    QueryShape shape, const InstanceStats& stats,
+    const CalibrationTable* calibration = nullptr);
 
 }  // namespace plan
 }  // namespace parjoin

@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "parjoin/common/stopwatch.h"
+
 #include "parjoin/algorithms/hypercube.h"
 #include "parjoin/algorithms/line_query.h"
 #include "parjoin/algorithms/matmul.h"
@@ -40,6 +42,32 @@
 namespace parjoin {
 namespace plan {
 
+// One completed execution, as the profile layer sees it: what the planner
+// predicted for the algorithm that actually ran vs. what the ledger
+// measured. `predicted_load` is the UNCALIBRATED constant-1 bound (the
+// candidate's prediction divided back by its calib_factor) so fitted
+// factors never feed into their own fit.
+struct ExecutionRecord {
+  Algorithm algorithm = Algorithm::kYannakakis;
+  QueryShape shape = QueryShape::kTree;
+  int p = 1;
+  std::int64_t input_size = 0;      // N = total input tuples
+  double predicted_load = 0;        // uncalibrated bound
+  std::int64_t measured_load = 0;   // cluster stats().max_load
+  double wall_ms = 0;               // wall time of the execution phase
+  int attempts = 1;
+  bool degraded = false;
+};
+
+// Observation seam for the profile store (src/parjoin/obs/profile.h
+// implements it; plan/ stays free of an obs dependency). Executions are
+// recorded from the charging thread only — no locking needed inside.
+class ExecutionProfileSink {
+ public:
+  virtual ~ExecutionProfileSink() = default;
+  virtual void RecordExecution(const ExecutionRecord& record) = 0;
+};
+
 // Resilience knobs for ExecuteWithRecovery / PlanAndRun. All off by
 // default: the default-constructed options run the fast path with zero
 // overhead (no checkpoints, no checksums, no budget).
@@ -54,11 +82,42 @@ struct ExecutionOptions {
   // base, 2·base, ... capped at backoff_cap. Recorded, never slept.
   std::int64_t backoff_base = 1;
   std::int64_t backoff_cap = 16;
+  // When set, every successful execution records a predicted-vs-measured
+  // sample (strictly read-only: recording never changes outputs or
+  // charged loads). Not owned.
+  ExecutionProfileSink* profile = nullptr;
 };
 
 // One-line "chosen X: predicted N, measured M (ratio R)" summary of an
 // executed plan, for examples and bench logs.
 std::string PredictedVsMeasuredReport(const PhysicalPlan& plan);
+
+// Builds the profile sample for a finished execution and hands it to the
+// options' sink (no-op without one). The prediction is de-calibrated via
+// the executed candidate's calib_factor so the profile always stores
+// measured-vs-constant-1 ratios.
+inline void RecordProfiledExecution(const mpc::Cluster& cluster,
+                                    const PhysicalPlan& plan,
+                                    const ExecutionOptions& options,
+                                    double wall_ms) {
+  if (options.profile == nullptr) return;
+  ExecutionRecord rec;
+  rec.algorithm = plan.executed;
+  rec.shape = plan.shape;
+  rec.p = plan.stats.p;
+  rec.input_size = plan.stats.total_input;
+  rec.predicted_load = plan.predicted_load;
+  if (const Candidate* c = plan.CandidateFor(plan.executed)) {
+    rec.predicted_load = c->calib_factor > 0
+                             ? c->predicted_load / c->calib_factor
+                             : c->predicted_load;
+  }
+  rec.measured_load = cluster.stats().max_load;
+  rec.wall_ms = wall_ms;
+  rec.attempts = plan.recovery.attempts;
+  rec.degraded = plan.recovery.degraded_to_baseline;
+  options.profile->RecordExecution(rec);
+}
 
 // Runs `a` on the instance. CHECK-fails when the algorithm does not apply
 // to the instance's shape (use Applicable / the planner's candidates).
@@ -135,8 +194,13 @@ StatusOr<DistRelation<S>> TryExecuteWithRecovery(
   const bool resilient = options.faults.enabled ||
                          options.checkpoint_interval > 0 ||
                          options.load_budget_factor > 0;
+  Stopwatch exec_timer;
   if (!resilient) {
-    return DispatchAlgorithm(cluster, plan->chosen, std::move(instance));
+    DistRelation<S> result =
+        DispatchAlgorithm(cluster, plan->chosen, std::move(instance));
+    RecordProfiledExecution(cluster, *plan, options,
+                            exec_timer.ElapsedMillis());
+    return result;
   }
 
   cluster.SetCheckpointInterval(options.checkpoint_interval);
@@ -193,6 +257,8 @@ StatusOr<DistRelation<S>> TryExecuteWithRecovery(
       report.crashes = cluster.stats().crashes;
       report.events = cluster.fault_log();
       plan->executed = algo;
+      RecordProfiledExecution(cluster, *plan, options,
+                              exec_timer.ElapsedMillis());
       return result;
     } catch (const mpc::RoundAbort& abort) {
       if (abort.reason == mpc::RoundAbort::Reason::kLoadBudget) {
@@ -204,10 +270,20 @@ StatusOr<DistRelation<S>> TryExecuteWithRecovery(
             plan->shape != QueryShape::kSingleEdge) {
           algo = Algorithm::kYannakakis;
           report.degraded_to_baseline = true;
+          if (mpc::RoundObserver* obs = cluster.observer()) {
+            obs->OnEvent("degrade", cluster.stats().rounds,
+                         std::string("budget abort: falling back to ") +
+                             AlgorithmName(algo));
+          }
         }
       } else {
         report.backoff_total += backoff;
         backoff = std::min(options.backoff_cap, backoff * 2);
+      }
+      if (mpc::RoundObserver* obs = cluster.observer()) {
+        obs->OnEvent("replay", cluster.stats().rounds,
+                     std::string("attempt ") + std::to_string(attempt) +
+                         " aborted; replaying " + AlgorithmName(algo));
       }
       cluster.rng() = rng_snapshot;
     }
@@ -239,6 +315,14 @@ PlanExecution<S> PlanAndRun(mpc::Cluster& cluster, TreeInstance<S> instance,
   PlanExecution<S> exec;
   exec.plan = PlanQuery(cluster, instance, options);
   exec.plan.planning_stats = cluster.stats();
+  if (mpc::RoundObserver* obs = cluster.observer()) {
+    obs->OnEvent("plan", 0,
+                 std::string("chosen ") + AlgorithmName(exec.plan.chosen) +
+                     " for " + QueryShapeName(exec.plan.shape) + " (predicted " +
+                     std::to_string(static_cast<std::int64_t>(
+                         exec.plan.predicted_load)) +
+                     ")");
+  }
 
   cluster.ResetStats();
   exec.result = ExecuteWithRecovery(cluster, std::move(instance),

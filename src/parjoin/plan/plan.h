@@ -66,6 +66,9 @@ struct Candidate {
   Algorithm algorithm = Algorithm::kYannakakis;
   double predicted_load = 0;
   std::string formula;  // the Table 1 expression the prediction evaluates
+  // Profile-fitted constant factor the prediction was scaled by; 1.0 when
+  // the planner scored without a calibration table (cost_model.h).
+  double calib_factor = 1;
   // Measured stats().max_load of running this candidate; -1 until the
   // executor (or MeasureCandidates) fills it.
   std::int64_t measured_load = -1;
@@ -94,6 +97,8 @@ struct PhysicalPlan {
   std::vector<Candidate> candidates;  // ascending predicted_load
   Algorithm chosen = Algorithm::kYannakakis;
   double predicted_load = 0;
+  // True when the candidates were scored through a calibration table.
+  bool calibrated = false;
 
   // Filled by the executor.
   std::int64_t measured_load = -1;  // chosen algorithm's stats().max_load

@@ -110,11 +110,15 @@ std::string PhysicalPlan::ToText() const {
      << "OUT " << (stats.out_is_estimated ? "~ " : "= ")
      << stats.out_estimate << ", largest intermediate J ~ "
      << stats.join_estimate << "\n"
-     << "candidates (ascending predicted load):\n";
+     << "candidates (ascending predicted load"
+     << (calibrated ? ", profile-calibrated" : "") << "):\n";
   for (const Candidate& c : candidates) {
     os << "  " << (c.algorithm == chosen ? "* " : "  ")
        << AlgorithmName(c.algorithm) << ": predicted "
        << static_cast<std::int64_t>(std::llround(c.predicted_load));
+    if (c.calib_factor != 1) {
+      os << " (x" << JsonDouble(c.calib_factor) << " calib)";
+    }
     if (c.measured_load >= 0) os << ", measured " << c.measured_load;
     os << "  [" << c.formula << "]\n";
   }
@@ -174,10 +178,12 @@ std::string PhysicalPlan::ToJson() const {
     if (i > 0) os << ',';
     os << "{\"algorithm\":\"" << AlgorithmName(c.algorithm)
        << "\",\"predicted_load\":" << JsonDouble(c.predicted_load)
+       << ",\"calib_factor\":" << JsonDouble(c.calib_factor)
        << ",\"formula\":\"" << JsonEscape(c.formula)
        << "\",\"measured_load\":" << c.measured_load << '}';
   }
-  os << "],\"chosen\":\"" << AlgorithmName(chosen)
+  os << "],\"calibrated\":" << (calibrated ? "true" : "false")
+     << ",\"chosen\":\"" << AlgorithmName(chosen)
      << "\",\"executed\":\"" << AlgorithmName(executed)
      << "\",\"predicted_load\":" << JsonDouble(predicted_load)
      << ",\"measured_load\":" << measured_load
@@ -188,6 +194,9 @@ std::string PhysicalPlan::ToJson() const {
   os << ",\"recovery\":{\"attempts\":" << recovery.attempts
      << ",\"crashes\":" << recovery.crashes
      << ",\"budget_aborts\":" << recovery.budget_aborts
+     << ",\"retransmits\":" << execution_stats.retransmits
+     << ",\"recovery_comm\":" << execution_stats.recovery_comm
+     << ",\"critical_path\":" << execution_stats.critical_path
      << ",\"degraded_to_baseline\":"
      << (recovery.degraded_to_baseline ? "true" : "false")
      << ",\"backoff_total\":" << recovery.backoff_total << ",\"events\":[";

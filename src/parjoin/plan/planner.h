@@ -56,6 +56,9 @@ struct PlannerOptions {
   // >= 0: trust this OUT instead of estimating (benches that know the
   // exact OUT from the block geometry, repeated queries, ...).
   std::int64_t out_override = -1;
+  // Profile-fitted constant factors (cost_model.h). Null: score with
+  // constant 1. Not owned; must outlive the PlanQuery call.
+  const CalibrationTable* calibration = nullptr;
 };
 
 namespace internal_plan {
@@ -290,7 +293,9 @@ PhysicalPlan PlanQuery(mpc::Cluster& cluster, const TreeInstance<S>& instance,
         internal_plan::ClampedMul(stats.total_input, stats.out_estimate);
   }
 
-  plan.candidates = ScoreCandidates(plan.shape, stats);
+  plan.candidates = ScoreCandidates(plan.shape, stats, options.calibration);
+  plan.calibrated =
+      options.calibration != nullptr && !options.calibration->empty();
   CHECK(!plan.candidates.empty())
       << "no algorithm applies to shape " << QueryShapeName(plan.shape);
   plan.chosen = plan.candidates.front().algorithm;

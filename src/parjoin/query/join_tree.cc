@@ -27,6 +27,18 @@ const char* QueryShapeName(QueryShape shape) {
   return "unknown";
 }
 
+StatusOr<QueryShape> QueryShapeFromName(const std::string& name) {
+  static constexpr QueryShape kAll[] = {
+      QueryShape::kSingleEdge, QueryShape::kMatMul,    QueryShape::kLine,
+      QueryShape::kStar,       QueryShape::kStarLike,  QueryShape::kFreeConnex,
+      QueryShape::kTree,
+  };
+  for (QueryShape s : kAll) {
+    if (name == QueryShapeName(s)) return s;
+  }
+  return InvalidArgumentError("unknown query shape name: '" + name + "'");
+}
+
 Status JoinTree::ValidateQuery(const std::vector<QueryEdge>& edges,
                                const std::vector<AttrId>& output_attrs) {
   if (edges.empty()) {

@@ -50,6 +50,10 @@ enum class QueryShape {
 
 const char* QueryShapeName(QueryShape shape);
 
+// Reverse lookup for profile/calibration files (external data: Status,
+// not CHECK). Accepts exactly the QueryShapeName spellings.
+StatusOr<QueryShape> QueryShapeFromName(const std::string& name);
+
 class JoinTree {
  public:
   // Builds and validates a query. Aborts (CHECK) if ValidateQuery fails —

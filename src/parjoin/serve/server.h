@@ -51,6 +51,7 @@
 #include "parjoin/common/hash.h"
 #include "parjoin/common/status.h"
 #include "parjoin/common/stopwatch.h"
+#include "parjoin/obs/metrics.h"
 #include "parjoin/plan/executor.h"
 #include "parjoin/relation/io.h"
 #include "parjoin/serve/plan_cache.h"
@@ -69,8 +70,14 @@ struct ServerOptions {
   // one query per batch.
   double load_budget = 0;
   plan::PlannerOptions planner;
-  // Default resilience options; Enqueue can override per query.
+  // Default resilience options; Enqueue can override per query. Its
+  // `profile` sink (when set) also backstops per-query overrides that
+  // carry none, so every execution lands in the profile store.
   plan::ExecutionOptions exec;
+  // Attached to every execution cluster (strictly read-only — the
+  // determinism contract of mpc/observer.h makes warm/cold bit-identity
+  // hold with tracing on). Not owned.
+  mpc::RoundObserver* observer = nullptr;
 };
 
 template <SemiringC S>
@@ -99,6 +106,20 @@ class Server {
     std::int64_t warm_plans = 0;
     double cold_plan_ms_total = 0;
     double warm_plan_ms_total = 0;
+  };
+
+  // Per-batch admission accounting, one entry per batch in batch order:
+  // how many queries were admitted, their combined predicted-load ticket
+  // against the budget, and whether a planned query was carried across
+  // the batch boundary (in: staged by an earlier batch; out: did not fit
+  // here and waits for the next one).
+  struct BatchStats {
+    int batch = 0;  // 1-based, matches Outcome::batch
+    int admitted = 0;
+    double ticket_load = 0;
+    bool carried_in = false;
+    bool carried_out = false;
+    std::string carried_out_label;  // "" unless carried_out
   };
 
   explicit Server(ServerOptions options)
@@ -174,6 +195,9 @@ class Server {
     }
     queue_.push_back(Pending{std::move(label), std::move(spec), exec});
     metrics_.enqueued += 1;
+    registry_metrics_.GetCounter("queries_enqueued")->Increment();
+    registry_metrics_.GetGauge("admission_queue_depth")
+        ->Set(static_cast<double>(QueueDepth()));
     return OkStatus();
   }
 
@@ -185,9 +209,14 @@ class Server {
   std::vector<Outcome> Drain() {
     std::vector<Outcome> outcomes;
     Stopwatch clock;
+    obs::Histogram* latency = registry_metrics_.GetHistogram(
+        "query_latency_ms", obs::DefaultLatencyBucketsMs());
     while (!queue_.empty() || staged_.has_value()) {
       metrics_.batches += 1;
       const int batch_index = metrics_.batches;
+      BatchStats bstats;
+      bstats.batch = batch_index;
+      bstats.carried_in = staged_.has_value();
       std::vector<Admitted> batch;
       double used = 0;
       for (;;) {
@@ -198,19 +227,35 @@ class Server {
         }
         if (!batch.empty() && options_.load_budget > 0 &&
             used + staged_->ticket > options_.load_budget) {
-          break;  // carries, already planned, into the next batch
+          // Carries, already planned, into the next batch.
+          bstats.carried_out = true;
+          bstats.carried_out_label = staged_->label;
+          break;
         }
         used += staged_->ticket;
         batch.push_back(std::move(*staged_));
         staged_.reset();
         if (options_.load_budget <= 0) break;
       }
+      bstats.admitted = static_cast<int>(batch.size());
+      bstats.ticket_load = used;
+      batch_stats_.push_back(std::move(bstats));
+      registry_metrics_.GetCounter("batches")->Increment();
       for (Admitted& adm : batch) {
         Outcome out = Execute(std::move(adm), batch_index);
         out.latency_ms = clock.ElapsedMillis();
+        latency->Observe(out.latency_ms);
         outcomes.push_back(std::move(out));
       }
+      registry_metrics_.GetGauge("admission_queue_depth")
+          ->Set(static_cast<double>(QueueDepth()));
     }
+    const double elapsed_s = clock.ElapsedSeconds();
+    if (elapsed_s > 0 && !outcomes.empty()) {
+      registry_metrics_.GetGauge("qps")->Set(
+          static_cast<double>(outcomes.size()) / elapsed_s);
+    }
+    SyncMetrics();
     return outcomes;
   }
 
@@ -219,6 +264,24 @@ class Server {
   const ServerOptions& options() const { return options_; }
   const PlanCache& plan_cache() const { return cache_; }
   const Metrics& metrics() const { return metrics_; }
+  const std::vector<BatchStats>& batch_stats() const { return batch_stats_; }
+
+  // The operational metrics registry (counters/gauges/histograms;
+  // obs/metrics.h). SyncMetrics() refreshes the registry's mirrors of
+  // internally-tracked values (cache counters, served/failed) — Drain()
+  // calls it on exit; call it before ToJson() when reading mid-stream.
+  obs::MetricsRegistry& metrics_registry() { return registry_metrics_; }
+
+  void SyncMetrics() {
+    const PlanCache::Counters& cc = cache_.counters();
+    SyncCounter("plan_cache_hits", cc.hits);
+    SyncCounter("plan_cache_misses", cc.misses);
+    SyncCounter("plan_cache_evictions", cc.evictions);
+    SyncCounter("queries_served", metrics_.served);
+    SyncCounter("queries_failed", metrics_.failed);
+    SyncCounter("plans_cold", metrics_.cold_plans);
+    SyncCounter("plans_warm", metrics_.warm_plans);
+  }
 
  private:
   struct Registered {
@@ -370,10 +433,25 @@ class Server {
     out.plan = std::move(*adm.plan);
 
     mpc::Cluster cluster(options_.p, ExecSeed(adm.signature));
+    cluster.SetObserver(options_.observer);
+    if (adm.exec.profile == nullptr) {
+      adm.exec.profile = options_.exec.profile;
+    }
     StatusOr<DistRelation<S>> result = plan::TryExecuteWithRecovery(
         cluster, std::move(*adm.instance), adm.exec, &out.plan);
     out.plan.execution_stats = cluster.stats();
     out.plan.measured_load = out.plan.execution_stats.max_load;
+    if (out.plan.recovery.crashes > 0) {
+      registry_metrics_.GetCounter("recovery_crashes")
+          ->Increment(out.plan.recovery.crashes);
+    }
+    if (out.plan.recovery.attempts > 1) {
+      registry_metrics_.GetCounter("recovery_replays")
+          ->Increment(out.plan.recovery.attempts - 1);
+    }
+    if (out.plan.recovery.degraded_to_baseline) {
+      registry_metrics_.GetCounter("recovery_degraded")->Increment();
+    }
     if (!result.ok()) {
       // The cluster (possibly crash-shrunken) dies with this scope; the
       // next query gets a fresh one from the registered partitions.
@@ -392,12 +470,22 @@ class Server {
     return out;
   }
 
+  // Sets a registry counter that mirrors an internally-tracked total to
+  // that total (counters only add, so this applies the delta).
+  void SyncCounter(const char* name, std::int64_t total) {
+    obs::Counter* c = registry_metrics_.GetCounter(name);
+    const std::int64_t delta = total - c->Value();
+    if (delta != 0) c->Increment(delta);
+  }
+
   ServerOptions options_;
   PlanCache cache_;
   std::unordered_map<std::string, Registered> registry_;
   std::deque<Pending> queue_;
   std::optional<Admitted> staged_;
   Metrics metrics_;
+  std::vector<BatchStats> batch_stats_;
+  obs::MetricsRegistry registry_metrics_;
 };
 
 }  // namespace serve

@@ -50,6 +50,12 @@ OPTIONAL = {
     "cache_hit_rate": ((int, float), 0),
     "cold_plan_ms": ((int, float), 0),
     "warm_plan_ms": ((int, float), 0),
+    # Planner-calibration metrics (E8 entries from bench_calibration).
+    "chosen_unit": (str, None),
+    "chosen_calibrated": (str, None),
+    "measured_best": (str, None),
+    "corrected": (int, 0),
+    "calib_factor": ((int, float), 0),
 }
 
 
@@ -103,6 +109,10 @@ def validate(doc):
         if (isinstance(rate, (int, float)) and not isinstance(rate, bool)
                 and rate > 1):
             errors.append(f"{where}: field 'cache_hit_rate' = {rate} > 1")
+        corrected = entry.get("corrected")
+        if (isinstance(corrected, int) and not isinstance(corrected, bool)
+                and corrected > 1):
+            errors.append(f"{where}: field 'corrected' = {corrected} > 1")
         key = (entry.get("experiment"), entry.get("name"))
         if None not in key:
             if key in seen:
@@ -137,6 +147,14 @@ GOOD_SERVING_ENTRY = dict(
     cold_plan_ms=4.0, warm_plan_ms=0.002,
 )
 
+GOOD_CALIBRATION_ENTRY = dict(
+    GOOD_ENTRY, experiment="E8", name="calibration/out=16384/p=16",
+    chosen_unit="matmul_worst_case",
+    chosen_calibrated="matmul_output_sensitive",
+    measured_best="matmul_output_sensitive", corrected=1,
+    calib_factor=2.417,
+)
+
 SELF_TEST_CASES = [
     # (description, document, should_pass)
     ("minimal valid", {"schema": SCHEMA, "entries": [GOOD_ENTRY]}, True),
@@ -156,6 +174,24 @@ SELF_TEST_CASES = [
     ("serving metric wrong type",
      {"schema": SCHEMA,
       "entries": [dict(GOOD_SERVING_ENTRY, p99_ms="9.75")]},
+     False),
+    ("E8 calibration entry",
+     {"schema": SCHEMA, "entries": [GOOD_CALIBRATION_ENTRY]}, True),
+    ("corrected above one",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_CALIBRATION_ENTRY, corrected=2)]},
+     False),
+    ("corrected bool masquerading as int",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_CALIBRATION_ENTRY, corrected=True)]},
+     False),
+    ("calibration algorithm wrong type",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_CALIBRATION_ENTRY, chosen_unit=3)]},
+     False),
+    ("negative calibration factor",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_CALIBRATION_ENTRY, calib_factor=-0.5)]},
      False),
     ("empty entries", {"schema": SCHEMA, "entries": []}, True),
     ("wrong schema", {"schema": "v0", "entries": []}, False),

@@ -21,11 +21,17 @@ Rules (ids used by `// parjoin-lint: allow(<id>): <why>` suppressions):
                        annotated Mutex/MutexLock/CondVar wrappers so clang
                        -Wthread-safety sees every lock site.
   nondet-random        rand() / srand / std::random_device / std::mt19937 /
-                       <random> / time()-or-chrono-derived seeds are banned
-                       in src/: all randomness flows from explicit 64-bit
-                       seeds via common/random.h (determinism is a tested
-                       library guarantee). std::chrono is allowed only in
-                       common/stopwatch.h (wall timing, never seeding).
+                       <random> / time()-derived seeds are banned in src/:
+                       all randomness flows from explicit 64-bit seeds via
+                       common/random.h (determinism is a tested library
+                       guarantee).
+  chrono-timing        std::chrono in src/ is allowed only in
+                       common/stopwatch.h (the one wall-clock primitive)
+                       and src/parjoin/obs/ (observer-side stamping).
+                       Everywhere else time must never feed seeds, charged
+                       loads, or program logic — wall timing goes through
+                       Stopwatch, and only from layers whose output the
+                       determinism tests ignore.
   unchecked-count-mul  In algorithm headers, `*` on tuple-count/degree
                        quantities (deg*/count*/cnt/out_est/...) must go
                        through common/checked_math.h (CheckedMul /
@@ -228,7 +234,6 @@ def check_nondet_random(rel, raw, code, findings):
         r"\brand\s*\(|\bsrand\s*\(|std::random_device\b|std::mt19937\w*\b|"
         r"std::default_random_engine\b|#\s*include\s*<random>|"
         r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)")
-    chrono = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
     for i, line in enumerate(code):
         m = pat.search(line)
         if m and not allowed("nondet-random", raw, i):
@@ -236,13 +241,23 @@ def check_nondet_random(rel, raw, code, findings):
                 rel, i + 1, "nondet-random",
                 f"'{m.group(0).strip()}' in src/; all randomness must "
                 "derive from explicit seeds via common/random.h"))
-        if rel != "src/parjoin/common/stopwatch.h":
-            m = chrono.search(line)
-            if m and not allowed("nondet-random", raw, i):
-                findings.append(Finding(
-                    rel, i + 1, "nondet-random",
-                    "std::chrono outside common/stopwatch.h; time must "
-                    "never feed seeds or program logic"))
+
+
+def check_chrono_timing(rel, raw, code, findings):
+    if not rel.startswith("src/"):
+        return
+    if rel == "src/parjoin/common/stopwatch.h" or \
+            rel.startswith("src/parjoin/obs/"):
+        return
+    pat = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
+    for i, line in enumerate(code):
+        m = pat.search(line)
+        if m and not allowed("chrono-timing", raw, i):
+            findings.append(Finding(
+                rel, i + 1, "chrono-timing",
+                "std::chrono outside common/stopwatch.h and obs/; wall "
+                "timing goes through Stopwatch, and time must never feed "
+                "seeds, charged loads, or program logic"))
 
 
 def check_unchecked_count_mul(rel, raw, code, findings):
@@ -389,8 +404,9 @@ def check_include_hygiene(rel, raw, code, findings, root):
 
 
 RULES = [
-    "thread-primitive", "raw-sync", "nondet-random", "unchecked-count-mul",
-    "cross-part-write", "header-guard", "include-hygiene", "ingress-status",
+    "thread-primitive", "raw-sync", "nondet-random", "chrono-timing",
+    "unchecked-count-mul", "cross-part-write", "header-guard",
+    "include-hygiene", "ingress-status",
 ]
 
 
@@ -406,6 +422,7 @@ def lint_file(path, root):
     check_thread_primitive(rel, raw, code, findings)
     check_raw_sync(rel, raw, code, findings)
     check_nondet_random(rel, raw, code, findings)
+    check_chrono_timing(rel, raw, code, findings)
     check_unchecked_count_mul(rel, raw, code, findings)
     check_cross_part_write(rel, raw, code, findings)
     check_ingress_status(rel, raw, code, findings)
@@ -455,6 +472,12 @@ SELF_TEST_CASES = [
      "#include <random>\n"
      "inline std::mt19937 g(std::random_device{}());\n"
      "#endif  // PARJOIN_WORKLOAD_BAD_SEED_H_\n"),
+    ("chrono-timing", "src/parjoin/mpc/bad_chrono.h",
+     "#ifndef PARJOIN_MPC_BAD_CHRONO_H_\n"
+     "#define PARJOIN_MPC_BAD_CHRONO_H_\n"
+     "#include <chrono>\n"
+     "inline auto Now() { return std::chrono::steady_clock::now(); }\n"
+     "#endif  // PARJOIN_MPC_BAD_CHRONO_H_\n"),
     ("unchecked-count-mul", "src/parjoin/algorithms/bad_mul.h",
      "#ifndef PARJOIN_ALGORITHMS_BAD_MUL_H_\n"
      "#define PARJOIN_ALGORITHMS_BAD_MUL_H_\n"
