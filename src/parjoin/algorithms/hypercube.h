@@ -28,6 +28,7 @@
 #include "parjoin/common/hash.h"
 #include "parjoin/common/logging.h"
 #include "parjoin/common/parallel_for.h"
+#include "parjoin/common/sorted_view.h"
 #include "parjoin/mpc/cluster.h"
 #include "parjoin/mpc/exchange.h"
 #include "parjoin/query/dangling.h"
@@ -149,7 +150,11 @@ DistRelation<S> HyperCubeJoinAggregate(mpc::Cluster& cluster,
     }
     auto& sink = partials.part(cell);
     sink.reserve(agg.size());
-    for (auto& [row, w] : agg) sink.push_back(Tuple<S>{row, w});
+    // Sorted so the partial order each cell emits (and hence the merge
+    // order in the reduce) is a function of the data alone.
+    for (auto& [row, w] : SortedEntries(agg)) {
+      sink.push_back(Tuple<S>{std::move(row), w});
+    }
   });
 
   // A grid cell may double-count a join result when the hash buckets of

@@ -34,6 +34,7 @@
 #include "parjoin/common/hash.h"
 #include "parjoin/common/logging.h"
 #include "parjoin/common/parallel_for.h"
+#include "parjoin/common/sorted_view.h"
 #include "parjoin/mpc/cluster.h"
 #include "parjoin/mpc/exchange.h"
 #include "parjoin/mpc/primitives.h"
@@ -148,7 +149,7 @@ DistRelation<S> MatMulOutputSensitive(mpc::Cluster& cluster,
   // --- Step 1: heavy rows by estimated OUT_a. ---
   // The heavy set is small (<= sqrt(OUT/L * N1/N2)); broadcast it.
   std::vector<Value> heavy_rows;
-  for (const auto& [a, out_a] : est->per_source) {
+  for (const auto& [a, out_a] : SortedEntries(est->per_source)) {
     if (out_a >= heavy_row_threshold) heavy_rows.push_back(a);
   }
   cluster.ChargeUniformRound(static_cast<std::int64_t>(heavy_rows.size()));
@@ -206,7 +207,7 @@ DistRelation<S> MatMulOutputSensitive(mpc::Cluster& cluster,
   std::vector<std::int64_t> group_size(static_cast<size_t>(k1), 0);
   for (int s = 0; s < r1_light.data.num_parts(); ++s) {
     for (const auto& t : r1_light.data.part(s)) {
-      const int i = group_of_a[t.row[m.a_pos]];
+      const int i = group_of_a.at(t.row[m.a_pos]);
       r1_groups[static_cast<size_t>(i)].data.part(s).push_back(t);
       ++group_size[static_cast<size_t>(i)];
     }
@@ -236,6 +237,9 @@ DistRelation<S> MatMulOutputSensitive(mpc::Cluster& cluster,
 
   std::vector<std::unordered_map<Value, Group>> heavy_c(
       static_cast<size_t>(k1));
+  // Heavy-column groups per A_i in sorted column order; the R1 route
+  // lambda iterates this vector, never the unordered map.
+  std::vector<std::vector<Group>> heavy_groups(static_cast<size_t>(k1));
   std::vector<std::unordered_map<Value, int>> bucket_of_c(
       static_cast<size_t>(k1));
   std::vector<std::vector<Group>> cells(static_cast<size_t>(k1));
@@ -251,10 +255,14 @@ DistRelation<S> MatMulOutputSensitive(mpc::Cluster& cluster,
         options.group_estimate_repetitions);
 
     std::vector<mpc::PackedItem> col_items;
-    for (const auto& [c, cnt] : est_i.per_source) {
+    // Sorted so virtual-server allocation order and the packing input are
+    // functions of the data, not of hash-table iteration order.
+    for (const auto& [c, cnt] : SortedEntries(est_i.per_source)) {
       if (cnt >= L) {
-        heavy_c[static_cast<size_t>(i)][c] = allocate(
-            group_size[static_cast<size_t>(i)] + deg_c[c]);
+        const Group g = allocate(group_size[static_cast<size_t>(i)] +
+                                 deg_c[c]);
+        heavy_c[static_cast<size_t>(i)][c] = g;
+        heavy_groups[static_cast<size_t>(i)].push_back(g);
       } else {
         col_items.push_back(
             {c, std::min(1.0, static_cast<double>(cnt) /
@@ -270,6 +278,7 @@ DistRelation<S> MatMulOutputSensitive(mpc::Cluster& cluster,
       k2 = std::max(k2, item.group + 1);
     }
     bucket_r2_size.assign(static_cast<size_t>(std::max(k2, 1)), 0);
+    // parjoin-analyzer: order-independent(commutative int64 sums per bucket)
     for (const auto& [c, j] : bucket_of_c[static_cast<size_t>(i)]) {
       bucket_r2_size[static_cast<size_t>(j)] += deg_c[c];
     }
@@ -292,9 +301,11 @@ DistRelation<S> MatMulOutputSensitive(mpc::Cluster& cluster,
   auto r1_routed = mpc::ExchangeMulti(
       cluster, r1_light.data, num_virtual,
       [&](const Tuple<S>& t, std::vector<int>* dests) {
+        // Pure const lookups only: the route runs concurrently across
+        // source parts (exchange.h contract).
         const Value b = t.row[m.b1_pos];
-        const int i = group_of_a[t.row[m.a_pos]];
-        for (const auto& [c, g] : heavy_c[static_cast<size_t>(i)]) {
+        const int i = group_of_a.at(t.row[m.a_pos]);
+        for (const Group& g : heavy_groups[static_cast<size_t>(i)]) {
           dests->push_back(b_shard(b, g));
         }
         for (const Group& g : cells[static_cast<size_t>(i)]) {

@@ -26,9 +26,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "parjoin/common/checked_math.h"
 #include "parjoin/common/hash.h"
 #include "parjoin/common/logging.h"
 #include "parjoin/common/parallel_for.h"
+#include "parjoin/common/sorted_view.h"
 #include "parjoin/mpc/cluster.h"
 #include "parjoin/mpc/exchange.h"
 #include "parjoin/mpc/primitives.h"
@@ -86,8 +88,13 @@ void LocalJoinAggregateAC(const MatMulAttrs& m,
       if (!inserted) slot->second = S::Plus(slot->second, w);
     }
   }
+  // Emit in row order: agg's iteration order is hash-table state, and these
+  // rows feed final output parts (grid cells keep them in place, and the
+  // broadcast path emits directly).
   out->reserve(out->size() + agg.size());
-  for (auto& [row, w] : agg) out->push_back(Tuple<S>{row, w});
+  for (auto& [row, w] : SortedEntries(agg)) {
+    out->push_back(Tuple<S>{std::move(row), w});
+  }
 }
 
 // The simple algorithm for very unbalanced inputs (N_small/N_big < 1/p):
@@ -145,11 +152,13 @@ DistRelation<S> MatMulWorstCase(mpc::Cluster& cluster,
   empty.data = mpc::Dist<Tuple<S>>(p);
   if (n1 == 0 || n2 == 0) return empty;
 
-  // Very unbalanced sizes: broadcast the small side (§3 opening).
-  if (n1 * p < n2) {
+  // Very unbalanced sizes: broadcast the small side (§3 opening). The
+  // products are saturating: on inputs near 2^63 a wrapped n*p would flip
+  // the comparison and route the whole big side through the wrong plan.
+  if (SaturatingMul(n1, p) < n2) {
     return internal_matmul::MatMulBroadcastSmall(cluster, m, r1, r2, true);
   }
-  if (n2 * p < n1) {
+  if (SaturatingMul(n2, p) < n1) {
     return internal_matmul::MatMulBroadcastSmall(cluster, m, r1, r2, false);
   }
 
@@ -165,6 +174,25 @@ DistRelation<S> MatMulWorstCase(mpc::Cluster& cluster,
       CollectStatsAtLeast(cluster, deg_a, L);
   const std::unordered_map<Value, std::int64_t> heavy_c =
       CollectStatsAtLeast(cluster, deg_c, L);
+  // Virtual-server allocation iterates the heavy values; materialize
+  // sorted views so the group layout is a function of the data, not of
+  // the hash table's iteration order.
+  const std::vector<std::pair<Value, std::int64_t>> heavy_a_sorted =
+      SortedEntries(heavy_a);
+  const std::vector<std::pair<Value, std::int64_t>> heavy_c_sorted =
+      SortedEntries(heavy_c);
+  const int na = static_cast<int>(heavy_a_sorted.size());
+  const int nc = static_cast<int>(heavy_c_sorted.size());
+  std::unordered_map<Value, int> a_rank;
+  std::unordered_map<Value, int> c_rank;
+  a_rank.reserve(heavy_a_sorted.size());
+  c_rank.reserve(heavy_c_sorted.size());
+  for (int i = 0; i < na; ++i) {
+    a_rank.emplace(heavy_a_sorted[static_cast<size_t>(i)].first, i);
+  }
+  for (int j = 0; j < nc; ++j) {
+    c_rank.emplace(heavy_c_sorted[static_cast<size_t>(j)].first, j);
+  }
 
   // Light-side sizes (a tiny distributed count; charged as one unit round).
   std::int64_t n1_light = 0, n2_light = 0;
@@ -191,19 +219,29 @@ DistRelation<S> MatMulWorstCase(mpc::Cluster& cluster,
     return g;
   };
 
-  // Heavy-heavy: group per (a, c) pair.
-  std::unordered_map<Value, std::unordered_map<Value, Group>> hh;
-  for (const auto& [a, da] : heavy_a) {
-    for (const auto& [c, dc] : heavy_c) {
-      hh[a][c] = allocate(da + dc);
+  // Heavy-heavy: group per (a, c) pair, laid out in sorted (a, c) order;
+  // hh[a_rank][c_rank] is the pair's group.
+  std::vector<std::vector<Group>> hh(
+      static_cast<size_t>(na), std::vector<Group>(static_cast<size_t>(nc)));
+  for (int i = 0; i < na; ++i) {
+    for (int j = 0; j < nc; ++j) {
+      hh[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          allocate(heavy_a_sorted[static_cast<size_t>(i)].second +
+                   heavy_c_sorted[static_cast<size_t>(j)].second);
     }
   }
   // Heavy-light: group per heavy a (receives R1(a,·) and all light R2).
-  std::unordered_map<Value, Group> hl;
-  for (const auto& [a, da] : heavy_a) hl[a] = allocate(da + n2_light);
+  std::vector<Group> hl;
+  hl.reserve(heavy_a_sorted.size());
+  for (const auto& [a, da] : heavy_a_sorted) {
+    hl.push_back(allocate(da + n2_light));
+  }
   // Light-heavy: group per heavy c.
-  std::unordered_map<Value, Group> lh;
-  for (const auto& [c, dc] : heavy_c) lh[c] = allocate(dc + n1_light);
+  std::vector<Group> lh;
+  lh.reserve(heavy_c_sorted.size());
+  for (const auto& [c, dc] : heavy_c_sorted) {
+    lh.push_back(allocate(dc + n1_light));
+  }
 
   // Light-light: pack light values into buckets of total degree <= L.
   auto pack_side = [&](const mpc::Dist<ValueCount>& degrees,
@@ -252,18 +290,22 @@ DistRelation<S> MatMulWorstCase(mpc::Cluster& cluster,
                         static_cast<std::uint64_t>(g.size));
   };
 
+  // Route lambdas run concurrently across source parts (Exchange's
+  // contract); lookups use find()/at() — never operator[], whose
+  // insert-if-absent would be a data race on the shared maps.
   auto r1_routed = mpc::ExchangeMulti(
       cluster, r1.data, num_virtual,
       [&](const Tuple<S>& t, std::vector<int>* dests) {
         const Value a = t.row[m.a_pos];
         const Value b = t.row[m.b1_pos];
-        auto ha = heavy_a.find(a);
-        if (ha != heavy_a.end()) {
-          for (const auto& [c, group] : hh[a]) dests->push_back(b_shard(b, group));
-          dests->push_back(b_shard(b, hl[a]));
+        const auto ha = a_rank.find(a);
+        if (ha != a_rank.end()) {
+          const size_t ai = static_cast<size_t>(ha->second);
+          for (const Group& g : hh[ai]) dests->push_back(b_shard(b, g));
+          dests->push_back(b_shard(b, hl[ai]));
         } else {
-          for (const auto& [c, group] : lh) dests->push_back(b_shard(b, group));
-          const int i = bucket_a[a];
+          for (const Group& g : lh) dests->push_back(b_shard(b, g));
+          const int i = bucket_a.at(a);
           for (int j = 0; j < k2; ++j) {
             dests->push_back(grid.base + i * k2 + j);
           }
@@ -274,13 +316,16 @@ DistRelation<S> MatMulWorstCase(mpc::Cluster& cluster,
       [&](const Tuple<S>& t, std::vector<int>* dests) {
         const Value c = t.row[m.c_pos];
         const Value b = t.row[m.b2_pos];
-        auto hc = heavy_c.find(c);
-        if (hc != heavy_c.end()) {
-          for (auto& [a, groups] : hh) dests->push_back(b_shard(b, groups[c]));
-          dests->push_back(b_shard(b, lh[c]));
+        const auto hc = c_rank.find(c);
+        if (hc != c_rank.end()) {
+          const size_t cj = static_cast<size_t>(hc->second);
+          for (const auto& row_groups : hh) {
+            dests->push_back(b_shard(b, row_groups[cj]));
+          }
+          dests->push_back(b_shard(b, lh[cj]));
         } else {
-          for (const auto& [a, group] : hl) dests->push_back(b_shard(b, group));
-          const int j = bucket_c[c];
+          for (const Group& g : hl) dests->push_back(b_shard(b, g));
+          const int j = bucket_c.at(c);
           for (int i = 0; i < k1; ++i) {
             dests->push_back(grid.base + i * k2 + j);
           }

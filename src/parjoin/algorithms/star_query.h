@@ -23,6 +23,7 @@
 #include "parjoin/algorithms/matmul.h"
 #include "parjoin/algorithms/two_way_join.h"
 #include "parjoin/common/logging.h"
+#include "parjoin/common/sorted_view.h"
 #include "parjoin/query/dangling.h"
 #include "parjoin/query/instance.h"
 #include "parjoin/relation/attr_combiner.h"
@@ -141,7 +142,9 @@ DistRelation<S> StarQueryAggregate(mpc::Cluster& cluster,
         d[static_cast<size_t>(i)] += 1;
       }
     }
-    for (const auto& [b, d] : degs) {
+    // Sorted: dense permutation ids are assigned in encounter order, so
+    // the id numbering must be a function of the data alone.
+    for (const auto& [b, d] : SortedEntries(degs)) {
       bool complete = true;
       for (std::int64_t x : d) {
         if (x == 0) complete = false;  // dangling leftovers; skip

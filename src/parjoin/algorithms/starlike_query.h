@@ -32,6 +32,7 @@
 #include "parjoin/algorithms/star_query.h"
 #include "parjoin/algorithms/two_way_join.h"
 #include "parjoin/common/logging.h"
+#include "parjoin/common/sorted_view.h"
 #include "parjoin/query/dangling.h"
 #include "parjoin/query/instance.h"
 #include "parjoin/relation/attr_combiner.h"
@@ -159,7 +160,9 @@ DistRelation<S> StarLikeAggregate(mpc::Cluster& cluster,
   std::map<std::pair<std::vector<int>, bool>, int> class_ids;
   std::vector<std::pair<std::vector<int>, bool>> class_list;
   std::unordered_map<Value, int> class_of_b;
-  for (const auto& [b, d0] : branching[0]) {
+  // Sorted: dense class ids are assigned in encounter order, so the
+  // numbering (and class_list order) must not depend on hash order.
+  for (const auto& [b, d0] : SortedEntries(branching[0])) {
     std::vector<double> d(static_cast<size_t>(n), 0);
     bool complete = true;
     for (int i = 0; i < n; ++i) {

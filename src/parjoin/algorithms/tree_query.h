@@ -148,12 +148,14 @@ EstimateMap EstimateX(mpc::Cluster& cluster, const TreeInstance<S>& instance,
     }
     OutEstimate est = EstimateChainOut(cluster, chain, arm.path, 5);
     if (first) {
+      // parjoin-analyzer: order-independent(one map write per distinct key)
       for (const auto& [b, cnt] : est.per_source) {
         x[b] = static_cast<double>(cnt);
       }
       first = false;
     } else {
       EstimateMap next;
+      // parjoin-analyzer: order-independent(one map write per distinct key)
       for (const auto& [b, cnt] : est.per_source) {
         auto it = x.find(b);
         if (it != x.end()) next[b] = it->second * static_cast<double>(cnt);
@@ -226,6 +228,7 @@ EstimateMap EstimateOutTree(
       y[re.parent_attr] = std::move(z);
     } else {
       EstimateMap merged;
+      // parjoin-analyzer: order-independent(one map write per distinct key)
       for (const auto& [v, val] : z) {
         auto old = pit->second.find(v);
         if (old != pit->second.end()) merged[v] = old->second * val;

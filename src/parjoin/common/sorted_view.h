@@ -1,0 +1,68 @@
+// Deterministic iteration over unordered associative containers.
+//
+// The iteration order of std::unordered_map/set is a property of the hash
+// table (bucket count, insertion history, standard-library version), not
+// of the data. Any loop that lets that order reach emitted tuples,
+// virtual-server allocation, or floating-point folds silently ties the
+// system's bit-identity contract to one standard library build.
+// SortedEntries/SortedKeys materialize a key-sorted view first, making the
+// order a function of the data alone.
+//
+// This header is the one blessed materialization point: the AST checker
+// (tools/analysis/parjoin_analyzer, check determinism-unordered-iteration)
+// skips it and flags order-sensitive unordered iteration everywhere else
+// unless the loop carries a `// parjoin-analyzer: order-independent(...)`
+// pragma.
+
+#ifndef PARJOIN_COMMON_SORTED_VIEW_H_
+#define PARJOIN_COMMON_SORTED_VIEW_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace parjoin {
+
+namespace internal_sorted_view {
+
+template <typename K, typename V>
+const K& KeyOf(const std::pair<const K, V>& kv) {
+  return kv.first;
+}
+
+template <typename K>
+const K& KeyOf(const K& key) {
+  return key;
+}
+
+}  // namespace internal_sorted_view
+
+// Key-sorted copies of a map's (key, mapped) pairs. Keys must be
+// strict-weak-orderable by operator<.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+SortedEntries(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      out;
+  out.reserve(m.size());
+  for (const auto& kv : m) out.emplace_back(kv.first, kv.second);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+// Sorted copies of the keys of a map or set.
+template <typename Container>
+std::vector<typename Container::key_type> SortedKeys(const Container& c) {
+  std::vector<typename Container::key_type> out;
+  out.reserve(c.size());
+  for (const auto& item : c) {
+    out.push_back(internal_sorted_view::KeyOf(item));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_COMMON_SORTED_VIEW_H_

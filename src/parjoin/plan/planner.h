@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "parjoin/common/hash.h"
+#include "parjoin/common/sorted_view.h"
 #include "parjoin/mpc/exchange.h"
 #include "parjoin/plan/cost_model.h"
 #include "parjoin/plan/plan.h"
@@ -154,7 +155,9 @@ void EstimateStar(mpc::Cluster& cluster, const TreeInstance<S>& instance,
                 t.row[arm_pos[static_cast<size_t>(i)]])));
       }
     }
-    for (const auto& [b, info] : infos) {
+    // Sorted: join_total is a floating-point fold and sigs feeds an
+    // exchange, so both must see a data-determined order.
+    for (const auto& [b, info] : SortedEntries(infos)) {
       double combos = 1;
       bool complete = true;
       for (std::int64_t d : info.deg) {
@@ -184,7 +187,11 @@ void EstimateStar(mpc::Cluster& cluster, const TreeInstance<S>& instance,
   for (int s = 0; s < p; ++s) {
     std::unordered_map<std::uint64_t, double> uniq;
     for (const auto& sc : by_sig.part(s)) uniq[sc.sig] = sc.combos;
-    for (const auto& [sig, combos] : uniq) out_total += combos;
+    // Sorted: floating-point fold; addition order must not follow hash
+    // order.
+    for (const auto& [sig, combos] : SortedEntries(uniq)) {
+      out_total += combos;
+    }
   }
 
   stats->star_arity = n;

@@ -184,6 +184,8 @@ OutEstimate EstimateChainOut(mpc::Cluster& cluster,
   // carried alongside the r parallel repetitions in the distributed
   // realization.)
   OutEstimate out;
+  // parjoin-analyzer: order-independent(per-key writes + commutative int64
+  // sum)
   for (auto& [value, reps] : estimates) {
     std::nth_element(reps.begin(), reps.begin() + reps.size() / 2,
                      reps.end());

@@ -1,0 +1,174 @@
+// Regression tests for the iteration-order determinism fixes that the
+// AST analyzer (tools/analysis/parjoin_analyzer, check
+// determinism-unordered-iteration) surfaced: every site that used to let
+// std::unordered_map iteration order reach emitted tuples, virtual-server
+// allocation, dense id assignment, or floating-point folds now goes
+// through SortedEntries (common/sorted_view.h). Each fixed algorithm must
+// produce bit-identical parts and a bit-identical ledger at
+// PARJOIN_THREADS in {1, 4}.
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parjoin/algorithms/hypercube.h"
+#include "parjoin/algorithms/matmul.h"
+#include "parjoin/algorithms/star_query.h"
+#include "parjoin/algorithms/tree_query.h"
+#include "parjoin/common/parallel_for.h"
+#include "parjoin/mpc/cluster.h"
+#include "parjoin/plan/executor.h"
+#include "parjoin/semiring/semirings.h"
+#include "parjoin/workload/generators.h"
+
+namespace parjoin {
+namespace {
+
+using S = CountingSemiring;
+
+// Restores the default thread count when a test exits.
+struct ThreadOverrideGuard {
+  ~ThreadOverrideGuard() { SetParallelForThreads(0); }
+};
+
+// Runs `algo` on a fresh cluster at PARJOIN_THREADS in {1, 4} and asserts
+// the output parts and the cost ledger are bit-identical.
+void ExpectBitIdenticalAcrossThreads(
+    int p, const std::function<DistRelation<S>(mpc::Cluster&)>& algo) {
+  ThreadOverrideGuard guard;
+  std::vector<std::vector<Tuple<S>>> base_parts;
+  mpc::Cluster::Stats base_stats;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    mpc::Cluster cluster(p);
+    DistRelation<S> out = algo(cluster);
+    if (threads == 1) {
+      base_parts = std::move(out.data.parts());
+      base_stats = cluster.stats();
+      continue;
+    }
+    ASSERT_EQ(out.data.num_parts(), static_cast<int>(base_parts.size()));
+    for (int s = 0; s < out.data.num_parts(); ++s) {
+      const auto& got = out.data.part(s);
+      const auto& want = base_parts[static_cast<size_t>(s)];
+      ASSERT_EQ(got.size(), want.size()) << "part " << s;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(got[i].row == want[i].row) << "part " << s << " #" << i;
+        EXPECT_EQ(got[i].w, want[i].w) << "part " << s << " #" << i;
+      }
+    }
+    EXPECT_EQ(cluster.stats().rounds, base_stats.rounds);
+    EXPECT_EQ(cluster.stats().max_load, base_stats.max_load);
+    EXPECT_EQ(cluster.stats().total_comm, base_stats.total_comm);
+  }
+}
+
+MatMulGenConfig SkewedMatMulConfig() {
+  MatMulGenConfig cfg;
+  cfg.n1 = 3000;
+  cfg.n2 = 2700;
+  cfg.dom_a = 200;
+  cfg.dom_b = 30;  // few join values => heavy hitters on both sides
+  cfg.dom_c = 200;
+  cfg.skew_b = 0.9;
+  cfg.seed = 41;
+  return cfg;
+}
+
+// matmul_wc.h: heavy-value grid allocation now walks SortedEntries of the
+// degree stats, the hh/hl/lh groups are rank-indexed vectors, and the
+// local aggregation emits in sorted row order.
+TEST(OrderDeterminismTest, MatMulWorstCase) {
+  ExpectBitIdenticalAcrossThreads(12, [](mpc::Cluster& c) {
+    auto instance = GenMatMulRandom<S>(c, SkewedMatMulConfig());
+    c.ResetStats();
+    MatMulOptions options;
+    options.strategy = MatMulStrategy::kWorstCase;
+    return MatMul(c, std::move(instance.relations[0]),
+                  std::move(instance.relations[1]), options);
+  });
+}
+
+// matmul_os.h: heavy rows, per-group heavy columns, and packing inputs
+// are gathered in sorted order, so virtual-server bases are
+// data-determined; route lambdas use pure lookups.
+TEST(OrderDeterminismTest, MatMulOutputSensitive) {
+  ExpectBitIdenticalAcrossThreads(12, [](mpc::Cluster& c) {
+    auto instance = GenMatMulRandom<S>(c, SkewedMatMulConfig());
+    c.ResetStats();
+    MatMulOptions options;
+    options.strategy = MatMulStrategy::kOutputSensitive;
+    return MatMul(c, std::move(instance.relations[0]),
+                  std::move(instance.relations[1]), options);
+  });
+}
+
+// star_query.h: dense permutation ids are now assigned in sorted-b order.
+TEST(OrderDeterminismTest, StarQuery) {
+  ExpectBitIdenticalAcrossThreads(8, [](mpc::Cluster& c) {
+    auto instance = GenStarRandom<S>(c, 3, 900, 60, 25, 0.7, 13);
+    c.ResetStats();
+    return StarQueryAggregate(c, std::move(instance));
+  });
+}
+
+// starlike_query.h: dense class ids (permutation x {small, large}) are
+// assigned in sorted-b order.
+TEST(OrderDeterminismTest, StarLikeQuery) {
+  ExpectBitIdenticalAcrossThreads(8, [](mpc::Cluster& c) {
+    auto instance = GenTreeRandom<S>(c, Fig1StarLikeQuery(), 60, 25, 3);
+    c.ResetStats();
+    return StarLikeAggregate(c, std::move(instance));
+  });
+}
+
+// hypercube.h: each grid cell emits its local aggregate in sorted row
+// order, so the reduce sees a data-determined merge order.
+TEST(OrderDeterminismTest, HyperCube) {
+  ExpectBitIdenticalAcrossThreads(8, [](mpc::Cluster& c) {
+    MatMulGenConfig cfg = SkewedMatMulConfig();
+    cfg.n1 = 800;
+    cfg.n2 = 700;
+    auto instance = GenMatMulRandom<S>(c, cfg);
+    c.ResetStats();
+    return HyperCubeJoinAggregate(c, instance);
+  });
+}
+
+// tree_query.h + planner.h: the full pipeline — estimation (sorted
+// floating-point folds in EstimateStar), planning, and the §7 tree
+// algorithm (pragma-justified per-key folds) — through PlanAndRun.
+TEST(OrderDeterminismTest, TreeQueryThroughPlanner) {
+  ThreadOverrideGuard guard;
+  std::vector<std::vector<Tuple<S>>> base_parts;
+  std::int64_t base_out_estimate = 0;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    mpc::Cluster cluster(8);
+    auto instance = GenTreeRandom<S>(cluster, Fig1StarLikeQuery(), 60, 20, 5);
+    auto exec = plan::PlanAndRun(cluster, instance);
+    if (threads == 1) {
+      base_parts = std::move(exec.result.data.parts());
+      base_out_estimate = exec.plan.stats.out_estimate;
+      continue;
+    }
+    EXPECT_EQ(exec.plan.stats.out_estimate, base_out_estimate);
+    ASSERT_EQ(exec.result.data.num_parts(),
+              static_cast<int>(base_parts.size()));
+    for (int s = 0; s < exec.result.data.num_parts(); ++s) {
+      const auto& got = exec.result.data.part(s);
+      const auto& want = base_parts[static_cast<size_t>(s)];
+      ASSERT_EQ(got.size(), want.size()) << "part " << s;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(got[i].row == want[i].row) << "part " << s << " #" << i;
+        EXPECT_EQ(got[i].w, want[i].w) << "part " << s << " #" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parjoin

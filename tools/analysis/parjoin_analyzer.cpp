@@ -1,0 +1,810 @@
+// parjoin_analyzer: AST-level determinism & ledger-discipline checker.
+//
+// A clang libTooling binary driven by compile_commands.json. It enforces,
+// at the AST level (seeing through typedefs, using-aliases, and template
+// instantiations), the project invariants that tools/lint/parjoin_lint.py
+// can only approximate with regexes:
+//
+//   determinism-unordered-iteration
+//       Loops over std::unordered_{map,set,multimap,multiset} whose body
+//       mutates state declared outside the loop tie emission order,
+//       virtual-server allocation, dense id assignment, or floating-point
+//       folds to hash-table iteration order. Such loops must materialize
+//       a sorted view (common/sorted_view.h, the one allowlisted home) or
+//       carry a `// parjoin-analyzer: order-independent(<reason>)` pragma
+//       on the loop line or the line above.
+//   checked-count-arith
+//       In algorithms/ and mpc/, raw integer `*` where both operands
+//       derive from tuple counts (.size()/.TotalSize()/count-named
+//       values, one initializer hop deep) must route through CheckedMul/
+//       SaturatingMul (common/checked_math.h). Signed `+` on two direct
+//       count calls is likewise flagged, except inside ceil-division and
+//       reserve() idioms.
+//   charged-exchange
+//       In algorithms/, `.part(i)` access on a Dist inside a ParallelFor
+//       lambda must address the lambda's own index (the argument must
+//       reference the lambda parameter or a loop variable declared inside
+//       the lambda). Anything else is an uncharged cross-part touch; use
+//       Exchange/ExchangeMulti.
+//   parallelfor-shared-state
+//       Namespace-scope / static / member state mutated inside a
+//       ParallelFor lambda must be std::atomic or GUARDED_BY-annotated
+//       (complements -Wthread-safety, which only checks annotated state).
+//   wallclock-and-rng
+//       time/rand/srand/clock/gettimeofday, std::random_device,
+//       std::mt19937*, and the std::chrono clocks are contained to
+//       common/stopwatch.h, common/random.h, and obs/ — matched on
+//       canonical types and callee decls, so `using` aliases are seen.
+//
+// Findings print as `file:line:col: warning: [check] message` and are
+// deduplicated across template instantiations and translation units.
+// Exit status: 0 clean, 1 findings, 2 tool error.
+//
+// Suppression grammar (same line or the line above the finding):
+//   // parjoin-analyzer: order-independent(<reason>)   (check 1 only)
+//   // parjoin-analyzer: allow(<check-id>): <reason>   (any check)
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/Regex.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace {
+
+using clang::dyn_cast;
+using clang::isa;
+
+llvm::cl::OptionCategory gCategory("parjoin_analyzer options");
+llvm::cl::opt<std::string> gOnlyCheck(
+    "check", llvm::cl::desc("run only the named check"), llvm::cl::init(""),
+    llvm::cl::cat(gCategory));
+llvm::cl::opt<bool> gListChecks(
+    "list-checks", llvm::cl::desc("print check ids and exit"),
+    llvm::cl::init(false), llvm::cl::cat(gCategory));
+
+const char* const kCheckNames[] = {
+    "determinism-unordered-iteration", "checked-count-arith",
+    "charged-exchange", "parallelfor-shared-state", "wallclock-and-rng",
+};
+
+// Findings deduplicated across TUs/instantiations by (file, line, check).
+std::set<std::string> gReported;
+int gFindingCount = 0;
+
+bool CheckEnabled(llvm::StringRef check) {
+  return gOnlyCheck.empty() || gOnlyCheck == check;
+}
+
+bool PathContains(llvm::StringRef path, llvm::StringRef needle) {
+  return path.find(needle) != llvm::StringRef::npos;
+}
+
+bool StartsWith(llvm::StringRef s, llvm::StringRef prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+// Identifier spelling of a decl, "" for operators/conversions/etc.
+// (NamedDecl::getName() asserts on non-identifier names.)
+llvm::StringRef IdentNameOf(const clang::NamedDecl* d) {
+  if (d == nullptr) return llvm::StringRef();
+  const clang::IdentifierInfo* ii = d->getIdentifier();
+  return ii != nullptr ? ii->getName() : llvm::StringRef();
+}
+
+// --- suppression pragmas -----------------------------------------------------
+
+std::string LineAt(const clang::SourceManager& sm, clang::FileID fid,
+                   unsigned line) {
+  if (line == 0) return "";
+  bool invalid = false;
+  llvm::StringRef buf = sm.getBufferData(fid, &invalid);
+  if (invalid) return "";
+  clang::SourceLocation start = sm.translateLineCol(fid, line, 1);
+  if (start.isInvalid()) return "";
+  unsigned off = sm.getFileOffset(sm.getSpellingLoc(start));
+  if (off >= buf.size()) return "";
+  size_t end = buf.find('\n', off);
+  return buf.substr(off, end == llvm::StringRef::npos ? end : end - off)
+      .str();
+}
+
+bool Suppressed(const clang::SourceManager& sm,
+                clang::SourceLocation spelling, llvm::StringRef check) {
+  clang::FileID fid = sm.getFileID(spelling);
+  unsigned line = sm.getSpellingLineNumber(spelling);
+  for (unsigned l : {line, line > 1 ? line - 1 : line}) {
+    std::string text = LineAt(sm, fid, l);
+    size_t tag = text.find("parjoin-analyzer:");
+    if (tag == std::string::npos) continue;
+    llvm::StringRef rest = llvm::StringRef(text).substr(tag);
+    if (check == "determinism-unordered-iteration" &&
+        PathContains(rest, "order-independent(")) {
+      return true;
+    }
+    if (PathContains(rest, "allow(" + check.str())) return true;
+  }
+  return false;
+}
+
+// --- shared helpers ----------------------------------------------------------
+
+// Canonical (desugared) name of the record behind a type, "" if none.
+std::string RecordNameOf(clang::QualType qt) {
+  if (qt.isNull()) return "";
+  clang::QualType canon =
+      qt.getNonReferenceType().getCanonicalType().getUnqualifiedType();
+  const clang::CXXRecordDecl* rd = canon->getAsCXXRecordDecl();
+  if (rd == nullptr) return "";
+  return rd->getQualifiedNameAsString();
+}
+
+bool IsUnorderedContainer(clang::QualType qt) {
+  const std::string name = RecordNameOf(qt);
+  return name == "std::unordered_map" || name == "std::unordered_set" ||
+         name == "std::unordered_multimap" ||
+         name == "std::unordered_multiset";
+}
+
+// Root declaration of an lvalue chain: strips member access, subscripts,
+// operator[]/at() chains down to the base decl. A member reached through
+// `this` roots at the FieldDecl itself.
+const clang::ValueDecl* RootDeclOf(const clang::Expr* e) {
+  while (e != nullptr) {
+    e = e->IgnoreParenImpCasts();
+    if (const auto* dre = dyn_cast<clang::DeclRefExpr>(e)) {
+      return dre->getDecl();
+    }
+    if (const auto* me = dyn_cast<clang::MemberExpr>(e)) {
+      if (isa<clang::CXXThisExpr>(me->getBase()->IgnoreParenImpCasts())) {
+        return me->getMemberDecl();
+      }
+      e = me->getBase();
+    } else if (const auto* ase = dyn_cast<clang::ArraySubscriptExpr>(e)) {
+      e = ase->getBase();
+    } else if (const auto* oce = dyn_cast<clang::CXXOperatorCallExpr>(e)) {
+      if (oce->getNumArgs() == 0) return nullptr;
+      e = oce->getArg(0);
+    } else if (const auto* mce = dyn_cast<clang::CXXMemberCallExpr>(e)) {
+      e = mce->getImplicitObjectArgument();
+    } else if (const auto* uo = dyn_cast<clang::UnaryOperator>(e)) {
+      e = uo->getSubExpr();
+    } else {
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+// Collects every Decl declared inside a statement subtree (loop variables,
+// body locals, structured bindings, lambda parameters).
+class LocalDeclCollector
+    : public clang::RecursiveASTVisitor<LocalDeclCollector> {
+ public:
+  std::set<const clang::Decl*> decls;
+  bool shouldVisitImplicitCode() const { return true; }
+  bool VisitDecl(clang::Decl* d) {
+    decls.insert(d->getCanonicalDecl());
+    return true;
+  }
+};
+
+std::set<const clang::Decl*> DeclsIn(clang::Stmt* s) {
+  LocalDeclCollector c;
+  if (s != nullptr) c.TraverseStmt(s);
+  return c.decls;
+}
+
+// True when the subtree references any decl in `targets`.
+class RefFinder : public clang::RecursiveASTVisitor<RefFinder> {
+ public:
+  explicit RefFinder(const std::set<const clang::Decl*>& targets)
+      : targets_(targets) {}
+  bool found = false;
+  bool VisitDeclRefExpr(clang::DeclRefExpr* dre) {
+    if (targets_.count(dre->getDecl()->getCanonicalDecl()) > 0) {
+      found = true;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::set<const clang::Decl*>& targets_;
+};
+
+bool ReferencesAny(clang::Stmt* s,
+                   const std::set<const clang::Decl*>& targets) {
+  if (s == nullptr) return false;
+  RefFinder f(targets);
+  f.TraverseStmt(s);
+  return f.found;
+}
+
+// Finds a `.begin()`/`.cbegin()` call on an unordered container anywhere
+// in a subtree (iterator-style loop inits).
+class BeginFinder : public clang::RecursiveASTVisitor<BeginFinder> {
+ public:
+  bool found = false;
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* call) {
+    const llvm::StringRef name = IdentNameOf(call->getMethodDecl());
+    if ((name == "begin" || name == "cbegin") &&
+        IsUnorderedContainer(
+            call->getImplicitObjectArgument()->getType())) {
+      found = true;
+      return false;
+    }
+    return true;
+  }
+};
+
+// First mutation in a subtree whose target roots outside `locals`.
+class MutFinder : public clang::RecursiveASTVisitor<MutFinder> {
+ public:
+  explicit MutFinder(const std::set<const clang::Decl*>& locals)
+      : locals_(locals) {}
+  const clang::ValueDecl* target = nullptr;
+
+  bool Consider(const clang::Expr* base) {
+    const clang::ValueDecl* d = RootDeclOf(base);
+    if (d == nullptr) return true;
+    if (locals_.count(d->getCanonicalDecl()) > 0) return true;
+    target = d;
+    return false;  // stop traversal
+  }
+  bool VisitBinaryOperator(clang::BinaryOperator* bo) {
+    if (bo->isAssignmentOp()) return Consider(bo->getLHS());
+    return true;
+  }
+  bool VisitUnaryOperator(clang::UnaryOperator* uo) {
+    if (uo->isIncrementDecrementOp()) return Consider(uo->getSubExpr());
+    return true;
+  }
+  bool VisitCXXOperatorCallExpr(clang::CXXOperatorCallExpr* oce) {
+    const clang::OverloadedOperatorKind op = oce->getOperator();
+    if ((op >= clang::OO_PlusEqual && op <= clang::OO_PipeEqual) ||
+        op == clang::OO_Equal || op == clang::OO_PlusPlus ||
+        op == clang::OO_MinusMinus) {
+      if (oce->getNumArgs() > 0) return Consider(oce->getArg(0));
+    }
+    return true;
+  }
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* call) {
+    const llvm::StringRef name = IdentNameOf(call->getMethodDecl());
+    static const char* const kMutators[] = {
+        "push_back", "emplace_back", "emplace", "insert", "erase",
+        "clear",     "resize",       "assign",  "append", "pop_back",
+        "merge",
+    };
+    for (const char* mut : kMutators) {
+      if (name == mut) return Consider(call->getImplicitObjectArgument());
+    }
+    return true;
+  }
+
+ private:
+  const std::set<const clang::Decl*>& locals_;
+};
+
+const clang::ValueDecl* FirstNonLocalMutation(
+    clang::Stmt* body, const std::set<const clang::Decl*>& locals) {
+  MutFinder mf(locals);
+  if (body != nullptr) mf.TraverseStmt(body);
+  return mf.target;
+}
+
+// First mutation of namespace-scope/static/member state that is neither
+// atomic nor GUARDED_BY-annotated (check 4).
+class SharedMutFinder : public clang::RecursiveASTVisitor<SharedMutFinder> {
+ public:
+  explicit SharedMutFinder(const std::set<const clang::Decl*>& locals)
+      : locals_(locals) {}
+  const clang::ValueDecl* target = nullptr;
+
+  static bool IsSharedDecl(const clang::ValueDecl* d) {
+    if (d == nullptr) return false;
+    if (isa<clang::FieldDecl>(d)) return true;
+    if (const auto* vd = dyn_cast<clang::VarDecl>(d)) {
+      return vd->hasGlobalStorage();
+    }
+    return false;
+  }
+  static bool IsExempt(const clang::ValueDecl* d) {
+    if (d->hasAttr<clang::GuardedByAttr>()) return true;
+    const std::string type = RecordNameOf(d->getType());
+    return StartsWith(type, "std::atomic") ||
+           StartsWith(type, "std::mutex") || PathContains(type, "Mutex");
+  }
+  bool Consider(const clang::Expr* base) {
+    const clang::ValueDecl* d = RootDeclOf(base);
+    if (!IsSharedDecl(d)) return true;
+    if (locals_.count(d->getCanonicalDecl()) > 0) return true;
+    if (IsExempt(d)) return true;
+    target = d;
+    return false;
+  }
+  bool VisitBinaryOperator(clang::BinaryOperator* bo) {
+    if (bo->isAssignmentOp()) return Consider(bo->getLHS());
+    return true;
+  }
+  bool VisitUnaryOperator(clang::UnaryOperator* uo) {
+    if (uo->isIncrementDecrementOp()) return Consider(uo->getSubExpr());
+    return true;
+  }
+  bool VisitCXXOperatorCallExpr(clang::CXXOperatorCallExpr* oce) {
+    const clang::OverloadedOperatorKind op = oce->getOperator();
+    if ((op >= clang::OO_PlusEqual && op <= clang::OO_PipeEqual) ||
+        op == clang::OO_Equal || op == clang::OO_PlusPlus ||
+        op == clang::OO_MinusMinus) {
+      if (oce->getNumArgs() > 0) return Consider(oce->getArg(0));
+    }
+    return true;
+  }
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* call) {
+    const clang::CXXMethodDecl* m = call->getMethodDecl();
+    if (m == nullptr || m->isConst()) return true;
+    // Non-const member call directly on shared state is a mutation;
+    // atomics/mutexes are exempted by their declared type above.
+    return Consider(call->getImplicitObjectArgument());
+  }
+
+ private:
+  const std::set<const clang::Decl*>& locals_;
+};
+
+const clang::ValueDecl* FirstSharedMutation(
+    clang::Stmt* body, const std::set<const clang::Decl*>& locals) {
+  SharedMutFinder smf(locals);
+  if (body != nullptr) smf.TraverseStmt(body);
+  return smf.target;
+}
+
+// --- main visitor ------------------------------------------------------------
+
+class Analyzer : public clang::RecursiveASTVisitor<Analyzer> {
+ public:
+  explicit Analyzer(clang::ASTContext& ctx) : ctx_(ctx) {}
+
+  bool shouldVisitTemplateInstantiations() const { return true; }
+
+  void Report(clang::SourceLocation loc, llvm::StringRef check,
+              const std::string& message) {
+    const clang::SourceManager& sm = ctx_.getSourceManager();
+    clang::SourceLocation spelling = sm.getSpellingLoc(loc);
+    if (spelling.isInvalid()) return;
+    if (Suppressed(sm, spelling, check)) return;
+    llvm::StringRef file = sm.getFilename(spelling);
+    unsigned line = sm.getSpellingLineNumber(spelling);
+    unsigned col = sm.getSpellingColumnNumber(spelling);
+    std::string key =
+        file.str() + ":" + std::to_string(line) + ":" + check.str();
+    if (!gReported.insert(key).second) return;
+    ++gFindingCount;
+    llvm::outs() << file << ":" << line << ":" << col << ": warning: ["
+                 << check << "] " << message << "\n";
+  }
+
+  // Path of the file a location spells into; "" for system/third-party.
+  std::string FileOf(clang::SourceLocation loc) {
+    const clang::SourceManager& sm = ctx_.getSourceManager();
+    clang::SourceLocation spelling = sm.getSpellingLoc(loc);
+    if (spelling.isInvalid()) return "";
+    llvm::StringRef file = sm.getFilename(spelling);
+    if (file.empty() || StartsWith(file, "/usr/") ||
+        PathContains(file, "/_deps/")) {
+      return "";
+    }
+    return file.str();
+  }
+
+  // -- check 1: determinism-unordered-iteration -------------------------------
+
+  bool VisitCXXForRangeStmt(clang::CXXForRangeStmt* loop) {
+    if (!CheckEnabled("determinism-unordered-iteration")) return true;
+    const std::string file = FileOf(loop->getForLoc());
+    if (file.empty() || !PathContains(file, "src/")) return true;
+    if (PathContains(file, "common/sorted_view.h")) return true;
+    const clang::Expr* range = loop->getRangeInit();
+    if (range == nullptr ||
+        !IsUnorderedContainer(range->IgnoreParenImpCasts()->getType())) {
+      return true;
+    }
+    ReportOrderDependentLoop(loop->getForLoc(), loop, loop->getBody(),
+                             "iteration");
+    return true;
+  }
+
+  bool VisitForStmt(clang::ForStmt* loop) {
+    if (!CheckEnabled("determinism-unordered-iteration")) return true;
+    const std::string file = FileOf(loop->getForLoc());
+    if (file.empty() || !PathContains(file, "src/")) return true;
+    if (PathContains(file, "common/sorted_view.h")) return true;
+    if (loop->getInit() == nullptr) return true;
+    BeginFinder bf;
+    bf.TraverseStmt(loop->getInit());
+    if (!bf.found) return true;
+    ReportOrderDependentLoop(loop->getForLoc(), loop, loop->getBody(),
+                             "iterator loop");
+    return true;
+  }
+
+  void ReportOrderDependentLoop(clang::SourceLocation loc,
+                                clang::Stmt* loop, clang::Stmt* body,
+                                const char* kind) {
+    std::set<const clang::Decl*> locals = DeclsIn(loop);
+    const clang::ValueDecl* target = FirstNonLocalMutation(body, locals);
+    if (target == nullptr) return;
+    Report(loc, "determinism-unordered-iteration",
+           std::string(kind) + " over unordered container mutates '" +
+               target->getNameAsString() +
+               "' declared outside the loop; hash order reaches it. "
+               "Materialize SortedEntries/SortedKeys "
+               "(common/sorted_view.h) or justify with "
+               "`// parjoin-analyzer: order-independent(<reason>)`");
+  }
+
+  // -- check 2: checked-count-arith -------------------------------------------
+
+  bool VisitBinaryOperator(clang::BinaryOperator* bo) {
+    if (!CheckEnabled("checked-count-arith")) return true;
+    const std::string file = FileOf(bo->getOperatorLoc());
+    if (file.empty() || (!PathContains(file, "src/parjoin/algorithms/") &&
+                         !PathContains(file, "src/parjoin/mpc/"))) {
+      return true;
+    }
+    clang::QualType t = bo->getType();
+    if (t.isNull() || !t->isIntegerType()) return true;
+    if (bo->getOpcode() == clang::BO_Mul) {
+      if (IsCountDerived(bo->getLHS(), 2) &&
+          IsCountDerived(bo->getRHS(), 2) && !InExemptArithContext(bo)) {
+        Report(bo->getOperatorLoc(), "checked-count-arith",
+               "raw integer '*' on two tuple-count-derived values; a "
+               "wrapped product corrupts thresholds and routing. Use "
+               "CheckedMul/SaturatingMul (common/checked_math.h)");
+      }
+    } else if (bo->getOpcode() == clang::BO_Add) {
+      if (t->isSignedIntegerType() && IsDirectCountCall(bo->getLHS()) &&
+          IsDirectCountCall(bo->getRHS()) && !InExemptArithContext(bo)) {
+        Report(bo->getOperatorLoc(), "checked-count-arith",
+               "raw signed '+' on two tuple-count calls; use CheckedAdd/"
+               "SaturatingAdd (common/checked_math.h)");
+      }
+    }
+    return true;
+  }
+
+  static const clang::Expr* StripCasts(const clang::Expr* e) {
+    while (true) {
+      const clang::Expr* next = e->IgnoreParenImpCasts();
+      if (const auto* ece = dyn_cast<clang::ExplicitCastExpr>(next)) {
+        e = ece->getSubExpr();
+        continue;
+      }
+      if (next == e) return e;
+      e = next;
+    }
+  }
+
+  // True for `.size()` / `.TotalSize()` / `.count()` member-call results.
+  static bool IsDirectCountCall(const clang::Expr* e) {
+    e = StripCasts(e);
+    const auto* call = dyn_cast<clang::CXXMemberCallExpr>(e);
+    if (call == nullptr) return false;
+    const llvm::StringRef name = IdentNameOf(call->getMethodDecl());
+    return name == "size" || name == "TotalSize" || name == "count" ||
+           name == "NumTuples";
+  }
+
+  class InitCountCallFinder
+      : public clang::RecursiveASTVisitor<InitCountCallFinder> {
+   public:
+    bool found = false;
+    bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* c) {
+      const llvm::StringRef n = IdentNameOf(c->getMethodDecl());
+      if (n == "size" || n == "TotalSize") {
+        found = true;
+        return false;
+      }
+      return true;
+    }
+  };
+
+  // Count provenance: a direct count call; a count-named variable; or (one
+  // initializer hop) a variable whose init contains a count call. `depth`
+  // bounds recursion into sub-operators.
+  bool IsCountDerived(const clang::Expr* e, int depth) {
+    if (depth < 0 || e == nullptr) return false;
+    e = StripCasts(e);
+    if (IsDirectCountCall(e)) return true;
+    if (const auto* dre = dyn_cast<clang::DeclRefExpr>(e)) {
+      const llvm::StringRef name = IdentNameOf(dre->getDecl());
+      static const llvm::Regex kCountName(
+          "^(n[0-9]*|n_[a-z0-9_]+|cnt[a-z0-9_]*|count[a-z0-9_]*|"
+          "deg[a-z0-9_]*|degree[a-z0-9_]*|out_est[a-z0-9_]*|"
+          "total[a-z0-9_]*|num_[a-z0-9_]+|nnz[a-z0-9_]*)$");
+      if (!name.empty() && kCountName.match(name)) return true;
+      if (const auto* vd = dyn_cast<clang::VarDecl>(dre->getDecl())) {
+        if (const clang::Expr* init = vd->getInit()) {
+          InitCountCallFinder f;
+          f.TraverseStmt(
+              const_cast<clang::Expr*>(init));
+          if (f.found) return true;
+        }
+      }
+      return false;
+    }
+    if (const auto* sub = dyn_cast<clang::BinaryOperator>(e)) {
+      return IsCountDerived(sub->getLHS(), depth - 1) ||
+             IsCountDerived(sub->getRHS(), depth - 1);
+    }
+    return false;
+  }
+
+  // Exempt arithmetic that feeds a division (ceil-div idiom), a modulo, a
+  // reserve() call, or a Checked*/Saturating* wrapper.
+  bool InExemptArithContext(const clang::Stmt* s) {
+    clang::DynTypedNodeList parents = ctx_.getParents(*s);
+    int hops = 0;
+    while (!parents.empty() && hops++ < 8) {
+      const clang::DynTypedNode node = parents[0];
+      if (const auto* bo = node.get<clang::BinaryOperator>()) {
+        if (bo->getOpcode() == clang::BO_Div ||
+            bo->getOpcode() == clang::BO_Rem) {
+          return true;
+        }
+      }
+      if (const auto* call = node.get<clang::CallExpr>()) {
+        const llvm::StringRef name = IdentNameOf(call->getDirectCallee());
+        if (name == "reserve" || StartsWith(name, "Checked") ||
+            StartsWith(name, "Saturating")) {
+          return true;
+        }
+      }
+      parents = ctx_.getParents(node);
+    }
+    return false;
+  }
+
+  // -- checks 3 & 4: ParallelFor lambda discipline ----------------------------
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    if (IdentNameOf(call->getDirectCallee()) != "ParallelFor") return true;
+    const clang::LambdaExpr* lambda = nullptr;
+    for (unsigned i = 0; i < call->getNumArgs() && lambda == nullptr; ++i) {
+      const clang::Expr* arg = call->getArg(i)->IgnoreParenImpCasts();
+      if (const auto* le = dyn_cast<clang::LambdaExpr>(arg)) {
+        lambda = le;
+        break;
+      }
+      // Lambdas often arrive wrapped in a std::function construction.
+      if (const auto* ce = dyn_cast<clang::CXXConstructExpr>(arg)) {
+        for (const clang::Expr* ca : ce->arguments()) {
+          if (const auto* le2 =
+                  dyn_cast<clang::LambdaExpr>(ca->IgnoreParenImpCasts())) {
+            lambda = le2;
+            break;
+          }
+        }
+      }
+    }
+    if (lambda == nullptr) return true;
+    CheckChargedExchange(lambda);
+    CheckSharedState(lambda);
+    return true;
+  }
+
+  // Finds Dist::part(idx) calls whose index ignores all lambda locals.
+  class PartFinder : public clang::RecursiveASTVisitor<PartFinder> {
+   public:
+    PartFinder(Analyzer& a, const std::set<const clang::Decl*>& locals)
+        : analyzer_(a), locals_(locals) {}
+    bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* call) {
+      if (IdentNameOf(call->getMethodDecl()) != "part" ||
+          call->getNumArgs() != 1) {
+        return true;
+      }
+      const std::string obj =
+          RecordNameOf(call->getImplicitObjectArgument()->getType());
+      if (obj.find("Dist") == std::string::npos) return true;
+      clang::Expr* idx = call->getArg(0);
+      if (idx->isValueDependent() || ReferencesAny(idx, locals_)) {
+        return true;
+      }
+      analyzer_.Report(
+          call->getExprLoc(), "charged-exchange",
+          "Dist::part() inside a ParallelFor lambda addressed by an "
+          "index that does not depend on the lambda's own worker "
+          "index; cross-part movement must go through mpc::Exchange/"
+          "ExchangeMulti so the load ledger stays exact");
+      return true;
+    }
+
+   private:
+    Analyzer& analyzer_;
+    const std::set<const clang::Decl*>& locals_;
+  };
+
+  void CheckChargedExchange(const clang::LambdaExpr* lambda) {
+    if (!CheckEnabled("charged-exchange")) return;
+    const std::string file = FileOf(lambda->getBeginLoc());
+    if (file.empty() || !PathContains(file, "src/parjoin/algorithms/")) {
+      return;
+    }
+    std::set<const clang::Decl*> locals = LambdaLocals(lambda);
+    PartFinder pf(*this, locals);
+    pf.TraverseStmt(LambdaBody(lambda));
+  }
+
+  void CheckSharedState(const clang::LambdaExpr* lambda) {
+    if (!CheckEnabled("parallelfor-shared-state")) return;
+    const std::string file = FileOf(lambda->getBeginLoc());
+    if (file.empty() || !PathContains(file, "src/")) return;
+    std::set<const clang::Decl*> locals = LambdaLocals(lambda);
+    const clang::ValueDecl* target =
+        FirstSharedMutation(LambdaBody(lambda), locals);
+    if (target == nullptr) return;
+    Report(lambda->getBeginLoc(), "parallelfor-shared-state",
+           "ParallelFor lambda mutates shared state '" +
+               target->getNameAsString() +
+               "' (namespace-scope/static/member) that is neither "
+               "std::atomic nor GUARDED_BY-annotated");
+  }
+
+  static clang::Stmt* LambdaBody(const clang::LambdaExpr* lambda) {
+    return const_cast<clang::CompoundStmt*>(
+        static_cast<const clang::CompoundStmt*>(lambda->getBody()));
+  }
+
+  static std::set<const clang::Decl*> LambdaLocals(
+      const clang::LambdaExpr* lambda) {
+    std::set<const clang::Decl*> locals = DeclsIn(LambdaBody(lambda));
+    for (const clang::ParmVarDecl* p :
+         lambda->getCallOperator()->parameters()) {
+      locals.insert(p->getCanonicalDecl());
+    }
+    return locals;
+  }
+
+  // -- check 5: wallclock-and-rng ---------------------------------------------
+
+  static bool WallclockAllowed(const std::string& file) {
+    return PathContains(file, "common/stopwatch.h") ||
+           PathContains(file, "common/random.h") ||
+           PathContains(file, "obs/");
+  }
+
+  bool VisitDeclRefExpr(clang::DeclRefExpr* dre) {
+    if (!CheckEnabled("wallclock-and-rng")) return true;
+    const auto* fd = dyn_cast<clang::FunctionDecl>(dre->getDecl());
+    if (fd == nullptr) return true;
+    const std::string qname = fd->getQualifiedNameAsString();
+    static const char* const kBannedFns[] = {
+        "time",      "rand",      "srand",      "clock", "gettimeofday",
+        "std::time", "std::rand", "std::srand", "std::clock",
+    };
+    bool banned = false;
+    for (const char* b : kBannedFns) {
+      if (qname == b) banned = true;
+    }
+    if (StartsWith(qname, "std::chrono::") &&
+        qname.find("::now") != std::string::npos) {
+      banned = true;
+    }
+    if (!banned) return true;
+    const std::string file = FileOf(dre->getLocation());
+    if (file.empty() || !PathContains(file, "src/")) return true;
+    if (WallclockAllowed(file)) return true;
+    Report(dre->getLocation(), "wallclock-and-rng",
+           "call to '" + qname +
+               "' outside common/stopwatch.h, common/random.h, obs/; "
+               "wall time and ambient randomness must not feed seeds, "
+               "charged loads, or program logic");
+    return true;
+  }
+
+  bool VisitVarDecl(clang::VarDecl* vd) {
+    if (!CheckEnabled("wallclock-and-rng")) return true;
+    const std::string type = RecordNameOf(vd->getType());
+    static const char* const kBannedTypes[] = {
+        "std::random_device",
+        "std::mersenne_twister_engine",
+        "std::linear_congruential_engine",
+        "std::subtract_with_carry_engine",
+    };
+    bool banned = false;
+    for (const char* b : kBannedTypes) {
+      if (StartsWith(type, b)) banned = true;
+    }
+    // Stored time points name their clock in the canonical type.
+    const std::string canon =
+        vd->getType().isNull()
+            ? ""
+            : vd->getType().getCanonicalType().getAsString();
+    if (canon.find("steady_clock") != std::string::npos ||
+        canon.find("system_clock") != std::string::npos ||
+        canon.find("high_resolution_clock") != std::string::npos) {
+      banned = true;
+    }
+    if (!banned) return true;
+    const std::string file = FileOf(vd->getLocation());
+    if (file.empty() || !PathContains(file, "src/")) return true;
+    if (WallclockAllowed(file)) return true;
+    Report(vd->getLocation(), "wallclock-and-rng",
+           "declaration of banned time/RNG type '" +
+               (type.empty() ? canon : type) +
+               "' outside common/stopwatch.h, common/random.h, obs/");
+    return true;
+  }
+
+ private:
+  clang::ASTContext& ctx_;
+};
+
+class AnalyzerConsumer : public clang::ASTConsumer {
+ public:
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    Analyzer analyzer(ctx);
+    analyzer.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+};
+
+class AnalyzerAction : public clang::ASTFrontendAction {
+ public:
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    return std::make_unique<AnalyzerConsumer>();
+  }
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto parser =
+      clang::tooling::CommonOptionsParser::create(argc, argv, gCategory);
+  if (!parser) {
+    llvm::errs() << llvm::toString(parser.takeError()) << "\n";
+    return 2;
+  }
+  if (gListChecks) {
+    for (const char* c : kCheckNames) llvm::outs() << c << "\n";
+    return 0;
+  }
+  if (!gOnlyCheck.empty()) {
+    bool known = false;
+    for (const char* c : kCheckNames) {
+      if (gOnlyCheck == c) known = true;
+    }
+    if (!known) {
+      llvm::errs() << "unknown check: " << gOnlyCheck << "\n";
+      return 2;
+    }
+  }
+  clang::tooling::ClangTool tool(parser->getCompilations(),
+                                 parser->getSourcePathList());
+  const int run_status = tool.run(
+      clang::tooling::newFrontendActionFactory<AnalyzerAction>().get());
+  if (run_status != 0) return 2;
+  if (gFindingCount > 0) {
+    llvm::errs() << "parjoin_analyzer: " << gFindingCount << " finding(s)\n";
+    return 1;
+  }
+  llvm::errs() << "parjoin_analyzer: clean\n";
+  return 0;
+}

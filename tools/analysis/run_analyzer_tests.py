@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Fixture harness for parjoin_analyzer.
+
+Modes:
+  --mode annotations   Validate the `// expect-warning` annotations in
+                       testdata/ (parse, line targets in range, every
+                       check covered). Pure python; runs without the
+                       analyzer binary.
+  --mode fixtures      Build a compile_commands.json over testdata/src,
+                       run the analyzer, and require its findings to
+                       match the annotations exactly (both directions).
+  --self-test          Seed one fresh violation per check into a temp
+                       tree and require every check to fire — catches a
+                       check silently going dead.
+
+Annotation grammar (in fixture sources):
+  // expect-warning: <check>        violation on this line
+  // expect-warning@+N: <check>     violation N lines below
+  // expect-warning@N: <check>      violation at absolute line N
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+CHECKS = [
+    "determinism-unordered-iteration",
+    "checked-count-arith",
+    "charged-exchange",
+    "parallelfor-shared-state",
+    "wallclock-and-rng",
+]
+
+EXPECT_RE = re.compile(r"//\s*expect-warning(?:@(\+?-?\d+))?:\s*([a-z-]+)")
+FINDING_RE = re.compile(r"^(.*?):(\d+):\d+:\s+warning:\s+\[([a-z-]+)\]")
+
+
+def fail(msg):
+    print("FAIL: " + msg)
+    sys.exit(1)
+
+
+def fixture_sources(testdata):
+    out = []
+    for root, _, files in os.walk(os.path.join(testdata, "src")):
+        for f in sorted(files):
+            if f.endswith(".cc"):
+                out.append(os.path.join(root, f))
+    return sorted(out)
+
+
+def collect_expectations(paths):
+    """Returns {(realpath, line): set(check)} parsed from annotations."""
+    expects = {}
+    for path in paths:
+        with open(path) as fh:
+            lines = fh.readlines()
+        for lineno, line in enumerate(lines, 1):
+            if "expect-warning" not in line:
+                continue
+            m = EXPECT_RE.search(line)
+            if not m:
+                fail("%s:%d: malformed expect-warning annotation" %
+                     (path, lineno))
+            offset, check = m.group(1), m.group(2)
+            if check not in CHECKS:
+                fail("%s:%d: unknown check '%s'" % (path, lineno, check))
+            if offset is None:
+                target = lineno
+            elif offset.startswith(("+", "-")):
+                target = lineno + int(offset)
+            else:
+                target = int(offset)
+            if not 1 <= target <= len(lines):
+                fail("%s:%d: target line %d out of range" %
+                     (path, lineno, target))
+            expects.setdefault((os.path.realpath(path), target),
+                               set()).add(check)
+    return expects
+
+
+def find_clang():
+    for name in ("clang++", "clang++-18", "clang++-17", "clang++-16",
+                 "clang++-15", "clang++-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def write_compile_db(sources, include_dir, build_dir):
+    clang = find_clang()
+    compiler = clang if clang else "clang++"
+    extra = []
+    if clang:
+        try:
+            res = subprocess.run([clang, "-print-resource-dir"],
+                                 capture_output=True, text=True, timeout=30)
+            if res.returncode == 0 and res.stdout.strip():
+                extra = ["-resource-dir", res.stdout.strip()]
+        except OSError:
+            pass
+    entries = []
+    for src in sources:
+        entries.append({
+            "directory": build_dir,
+            "file": src,
+            "arguments": [compiler, "-std=c++17", "-I", include_dir] +
+                         extra + ["-fsyntax-only", src],
+        })
+    with open(os.path.join(build_dir, "compile_commands.json"), "w") as fh:
+        json.dump(entries, fh, indent=1)
+
+
+def run_analyzer(analyzer, build_dir, sources):
+    """Returns (findings as {(realpath, line): set(check)}, returncode)."""
+    proc = subprocess.run([analyzer, "-p", build_dir] + sources,
+                          capture_output=True, text=True)
+    if proc.returncode == 2:
+        fail("analyzer errored:\n" + proc.stdout + proc.stderr)
+    findings = {}
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        findings.setdefault(
+            (os.path.realpath(m.group(1)), int(m.group(2))),
+            set()).add(m.group(3))
+    return findings, proc.returncode
+
+
+def diff_sets(expects, findings):
+    problems = []
+    for key, checks in sorted(expects.items()):
+        got = findings.get(key, set())
+        for check in sorted(checks - got):
+            problems.append("missing: %s:%d [%s]" % (key[0], key[1], check))
+    for key, checks in sorted(findings.items()):
+        want = expects.get(key, set())
+        for check in sorted(checks - want):
+            problems.append("unexpected: %s:%d [%s]" %
+                            (key[0], key[1], check))
+    return problems
+
+
+def mode_annotations(testdata):
+    sources = fixture_sources(testdata)
+    if not sources:
+        fail("no fixture sources under %s" % testdata)
+    expects = collect_expectations(sources)
+    covered = set()
+    for checks in expects.values():
+        covered |= checks
+    missing = [c for c in CHECKS if c not in covered]
+    if missing:
+        fail("checks with no fixture expectation: %s" % ", ".join(missing))
+    print("OK: %d expectations across %d fixtures cover all %d checks" %
+          (sum(len(v) for v in expects.values()), len(sources),
+           len(CHECKS)))
+
+
+def mode_fixtures(testdata, analyzer):
+    sources = fixture_sources(testdata)
+    expects = collect_expectations(sources)
+    with tempfile.TemporaryDirectory() as build_dir:
+        write_compile_db(sources, os.path.join(testdata, "include"),
+                         build_dir)
+        findings, _ = run_analyzer(analyzer, build_dir, sources)
+    problems = diff_sets(expects, findings)
+    if problems:
+        fail("findings do not match annotations:\n  " +
+             "\n  ".join(problems))
+    print("OK: analyzer findings match all %d annotations" %
+          sum(len(v) for v in expects.values()))
+
+
+# One seeded violation per check; file paths are relative to the temp
+# tree and chosen so the path-scoped checks apply.
+SELF_TEST_SOURCES = {
+    "determinism-unordered-iteration": (
+        "src/parjoin/algorithms/seed_unordered.cc", """
+#include <unordered_map>
+#include <vector>
+std::vector<int> Emit(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& kv : m) out.push_back(kv.first);
+  return out;
+}
+"""),
+    "checked-count-arith": (
+        "src/parjoin/algorithms/seed_count_arith.cc", """
+#include <vector>
+long long Cells(const std::vector<int>& a, const std::vector<int>& b) {
+  return static_cast<long long>(a.size()) *
+         static_cast<long long>(b.size());
+}
+"""),
+    "charged-exchange": (
+        "src/parjoin/algorithms/seed_charged.cc", """
+#include "parjoin_stub.h"
+void Leak(parjoin::mpc::Dist<int>& out, int p) {
+  parjoin::ParallelFor(p, [&](int i) { out.part(0).push_back(i); });
+}
+"""),
+    "parallelfor-shared-state": (
+        "src/parjoin/algorithms/seed_shared.cc", """
+#include "parjoin_stub.h"
+long g_total = 0;
+void Accumulate(int p) {
+  parjoin::ParallelFor(p, [&](int i) { g_total += i; });
+}
+"""),
+    "wallclock-and-rng": (
+        "src/parjoin/algorithms/seed_wallclock.cc", """
+#include <cstdlib>
+int Draw() { return std::rand(); }
+"""),
+}
+
+
+def mode_self_test(testdata, analyzer):
+    with tempfile.TemporaryDirectory() as tmp:
+        include_dir = os.path.join(tmp, "include")
+        shutil.copytree(os.path.join(testdata, "include"), include_dir)
+        sources = []
+        for check, (relpath, content) in sorted(SELF_TEST_SOURCES.items()):
+            path = os.path.join(tmp, relpath)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w") as fh:
+                fh.write(content)
+            sources.append(path)
+        build_dir = os.path.join(tmp, "build")
+        os.makedirs(build_dir)
+        write_compile_db(sources, include_dir, build_dir)
+        findings, rc = run_analyzer(analyzer, build_dir, sources)
+        fired = set()
+        for checks in findings.values():
+            fired |= checks
+        dead = [c for c in CHECKS if c not in fired]
+        if dead:
+            fail("seeded violations not detected (check went dead): %s" %
+                 ", ".join(dead))
+        if rc != 1:
+            fail("analyzer exit code %d on seeded violations, want 1" % rc)
+    print("OK: all %d checks fired on seeded violations" % len(CHECKS))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", choices=["annotations", "fixtures"],
+                    default=None)
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--analyzer", default=None)
+    ap.add_argument("--testdata",
+                    default=os.path.join(os.path.dirname(
+                        os.path.abspath(__file__)), "testdata"))
+    args = ap.parse_args()
+
+    if args.self_test:
+        if not args.analyzer:
+            fail("--self-test requires --analyzer")
+        mode_self_test(args.testdata, args.analyzer)
+    elif args.mode == "annotations":
+        mode_annotations(args.testdata)
+    elif args.mode == "fixtures":
+        if not args.analyzer:
+            fail("--mode fixtures requires --analyzer")
+        mode_fixtures(args.testdata, args.analyzer)
+    else:
+        fail("pick --mode annotations|fixtures or --self-test")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+// Minimal stand-ins so the analyzer fixtures compile without the real
+// tree. The analyzer matches on names and canonical types, not on the
+// real headers, so these shims are all it needs: ParallelFor, Dist,
+// Checked*/Saturating* wrappers, SortedEntries, and GUARDED_BY.
+
+#ifndef PARJOIN_ANALYZER_TESTDATA_STUB_H_
+#define PARJOIN_ANALYZER_TESTDATA_STUB_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+namespace parjoin {
+
+inline void ParallelFor(int n, const std::function<void(int)>& fn) {
+  for (int i = 0; i < n; ++i) fn(i);
+}
+
+inline std::int64_t CheckedMul(std::int64_t a, std::int64_t b) {
+  return a * b;
+}
+inline std::int64_t CheckedAdd(std::int64_t a, std::int64_t b) {
+  return a + b;
+}
+inline std::int64_t SaturatingMul(std::int64_t a, std::int64_t b) {
+  return a * b;
+}
+
+namespace mpc {
+
+template <typename T>
+class Dist {
+ public:
+  explicit Dist(int p = 0) : parts_(static_cast<unsigned>(p)) {}
+  std::vector<T>& part(int i) { return parts_[static_cast<unsigned>(i)]; }
+  const std::vector<T>& part(int i) const {
+    return parts_[static_cast<unsigned>(i)];
+  }
+  int num_parts() const { return static_cast<int>(parts_.size()); }
+
+ private:
+  std::vector<std::vector<T>> parts_;
+};
+
+}  // namespace mpc
+
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+SortedEntries(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      out(m.begin(), m.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Simple relation-ish type so fixtures can call TotalSize().
+struct StubRelation {
+  std::vector<int> tuples;
+  std::int64_t TotalSize() const {
+    return static_cast<std::int64_t>(tuples.size());
+  }
+};
+
+}  // namespace parjoin
+
+#endif  // PARJOIN_ANALYZER_TESTDATA_STUB_H_

@@ -1,0 +1,40 @@
+// Fixtures for charged-exchange: inside a ParallelFor worker lambda,
+// Dist::part() must address the worker's own index; anything else is an
+// uncharged cross-part touch that belongs in Exchange/ExchangeMulti.
+
+#include <vector>
+
+#include "parjoin_stub.h"
+
+namespace parjoin {
+
+// Violation: every worker writes part 0 — uncharged and racy.
+void LeakCrossPart(mpc::Dist<int>& out, int p) {
+  ParallelFor(p, [&](int i) {
+    // expect-warning@+1: charged-exchange
+    out.part(0).push_back(i);
+  });
+}
+
+// Violation: the index comes from the enclosing scope, not the worker.
+void BroadcastToFixed(mpc::Dist<int>& out, int target, int p) {
+  ParallelFor(p, [&](int i) {
+    // expect-warning@+1: charged-exchange
+    out.part(target).push_back(i);
+  });
+}
+
+// Clean: each worker touches only its own part.
+void FillOwnPart(mpc::Dist<int>& out, int p) {
+  ParallelFor(p, [&](int i) { out.part(i).push_back(i); });
+}
+
+// Clean: a derived index still references the worker's index.
+void FillDerived(mpc::Dist<int>& out, int p) {
+  ParallelFor(p, [&](int i) {
+    const int mine = i;
+    out.part(mine).push_back(i);
+  });
+}
+
+}  // namespace parjoin

@@ -1,0 +1,51 @@
+// Fixtures for checked-count-arith: raw arithmetic on tuple counts in
+// algorithm code must route through the checked_math wrappers.
+
+#include <cstdint>
+#include <vector>
+
+#include "parjoin_stub.h"
+
+namespace parjoin {
+
+// Violation: raw product of two direct counts.
+std::int64_t GridCells(const StubRelation& r, const StubRelation& s) {
+  // expect-warning@+1: checked-count-arith
+  return r.TotalSize() * s.TotalSize();
+}
+
+// Violation: counts reached through named variables (one hop deep —
+// `deg_u` by name, `probe_n` through its initializer).
+std::int64_t JoinEstimate(const std::vector<int>& build,
+                          const std::vector<int>& probe) {
+  const std::int64_t deg_u = static_cast<std::int64_t>(build.size());
+  const std::int64_t probe_n = static_cast<std::int64_t>(probe.size());
+  // expect-warning@+1: checked-count-arith
+  return deg_u * probe_n;
+}
+
+// Violation: signed sum of two direct counts.
+std::int64_t TotalInput(const StubRelation& r, const StubRelation& s) {
+  // expect-warning@+1: checked-count-arith
+  return r.TotalSize() + s.TotalSize();
+}
+
+// Clean: the blessed wrappers.
+std::int64_t GridCellsChecked(const StubRelation& r,
+                              const StubRelation& s) {
+  return CheckedMul(r.TotalSize(), s.TotalSize());
+}
+
+// Clean: ceil-division over a count sum is the standard partitioning
+// idiom; the Div ancestor exempts it.
+std::int64_t Buckets(const StubRelation& r, const StubRelation& s) {
+  return (r.TotalSize() + s.TotalSize() - 1) / (s.TotalSize() + 1);
+}
+
+// Clean: reserve() capacity arithmetic is never charged.
+void ReserveAll(std::vector<int>* out, const std::vector<int>& a,
+                const std::vector<int>& b) {
+  out->reserve(a.size() + b.size());
+}
+
+}  // namespace parjoin

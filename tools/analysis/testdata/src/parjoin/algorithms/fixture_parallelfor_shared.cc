@@ -1,0 +1,61 @@
+// Fixtures for parallelfor-shared-state: namespace-scope/static/member
+// state mutated inside ParallelFor lambdas must be atomic or
+// GUARDED_BY-annotated.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "parjoin_stub.h"
+
+namespace parjoin {
+namespace {
+
+std::int64_t g_unguarded_total = 0;
+std::atomic<std::int64_t> g_atomic_total{0};
+std::mutex g_mu;
+std::int64_t g_guarded_total GUARDED_BY(g_mu) = 0;
+
+}  // namespace
+
+// Violation: namespace-scope accumulator raced by the workers.
+void AccumulateRaced(int p) {
+  // expect-warning@+1: parallelfor-shared-state
+  ParallelFor(p, [&](int i) { g_unguarded_total += i; });
+}
+
+// Violation: member state mutated through the captured `this`.
+class Ledger {
+ public:
+  void Charge(int p) {
+    // expect-warning@+1: parallelfor-shared-state
+    ParallelFor(p, [&](int i) { total_ += i; });
+  }
+
+ private:
+  std::int64_t total_ = 0;
+};
+
+// Clean: atomic accumulator.
+void AccumulateAtomic(int p) {
+  ParallelFor(p, [&](int i) { g_atomic_total.fetch_add(i); });
+}
+
+// Clean: mutex-guarded state, annotated as such.
+void AccumulateGuarded(int p) {
+  ParallelFor(p, [&](int i) {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    g_guarded_total += i;
+  });
+}
+
+// Clean: only lambda-local state is mutated.
+void LocalOnly(int p) {
+  ParallelFor(p, [&](int i) {
+    std::int64_t local = 0;
+    local += i;
+    (void)local;
+  });
+}
+
+}  // namespace parjoin

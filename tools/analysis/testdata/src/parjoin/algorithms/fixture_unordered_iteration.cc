@@ -1,0 +1,59 @@
+// Fixtures for determinism-unordered-iteration: loops over unordered
+// containers that leak hash order into state visible after the loop.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "parjoin_stub.h"
+
+namespace parjoin {
+
+// Violation: emission order leaks hash order into the output vector.
+std::vector<int> EmitValues(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  // expect-warning@+1: determinism-unordered-iteration
+  for (const auto& [k, v] : m) {
+    out.push_back(k + v);
+  }
+  return out;
+}
+
+// Violation: iterator-style loop folding non-commutatively.
+long HashChain(const std::unordered_set<long>& s) {
+  long fold = 0;
+  // expect-warning@+1: determinism-unordered-iteration
+  for (auto it = s.begin(); it != s.end(); ++it) {
+    fold = fold * 31 + *it;
+  }
+  return fold;
+}
+
+// Clean: sorted view materialized first; the range is an ordered vector.
+std::vector<int> EmitSorted(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& [k, v] : SortedEntries(m)) {
+    out.push_back(k + v);
+  }
+  return out;
+}
+
+// Clean: commutative fold, justified by pragma.
+long SumValues(const std::unordered_map<int, long>& m) {
+  long total = 0;
+  // parjoin-analyzer: order-independent(commutative integer sum)
+  for (const auto& [k, v] : m) {
+    total += v;
+  }
+  return total;
+}
+
+// Clean: read-only loop; no state escapes in iteration order.
+bool ContainsNegative(const std::unordered_set<int>& s) {
+  for (int v : s) {
+    if (v < 0) return true;
+  }
+  return false;
+}
+
+}  // namespace parjoin

@@ -1,0 +1,49 @@
+// Fixtures for wallclock-and-rng: time and ambient randomness are
+// contained to common/stopwatch.h, common/random.h, obs/. The checks
+// match canonical types and callee decls, so aliases don't hide them.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+#include "parjoin_stub.h"
+
+namespace parjoin {
+
+// Violation: ambient entropy seeding anything breaks reproducibility.
+int SeedFromEntropy() {
+  // expect-warning@+1: wallclock-and-rng
+  std::random_device rd;
+  return static_cast<int>(rd() % 97);
+}
+
+// Violation: engine type, even behind an alias.
+using Engine = std::mt19937_64;
+long DrawBehindAlias() {
+  // expect-warning@+1: wallclock-and-rng
+  Engine eng(7);
+  return static_cast<long>(eng());
+}
+
+// Violation: wall clock behind a type alias.
+using Clock = std::chrono::steady_clock;
+long TimeBehindAlias() {
+  // expect-warning@+1: wallclock-and-rng
+  const auto t0 = Clock::now();
+  return static_cast<long>(t0.time_since_epoch().count());
+}
+
+// Violation: C wall time.
+long CTime() {
+  // expect-warning@+1: wallclock-and-rng
+  return static_cast<long>(std::time(nullptr));
+}
+
+// Violation: C PRNG.
+int CRand() {
+  // expect-warning@+1: wallclock-and-rng
+  return std::rand();
+}
+
+}  // namespace parjoin

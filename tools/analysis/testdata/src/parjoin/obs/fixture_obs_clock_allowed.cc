@@ -1,0 +1,13 @@
+// The observability subsystem is an allowlisted home for wall time:
+// nothing here must be flagged (negative fixture for wallclock-and-rng).
+
+#include <chrono>
+
+namespace parjoin {
+
+long NowNanos() {
+  return static_cast<long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace parjoin

@@ -1,0 +1,67 @@
+// Fuzz harness for the serve spec/workload parser — the query-ingress
+// path (serve/spec.h). Both parsers must turn ANY byte stream into
+// either a parsed spec or a line-numbered InvalidArgument Status;
+// crashes, hangs, and sanitizer reports are bugs.
+//
+// Two build flavors (tools/fuzz/CMakeLists.txt):
+//   PARJOIN_FUZZ_LIBFUZZER defined: clang libFuzzer entry point; CI runs
+//       a short coverage-guided loop under ASan+UBSan.
+//   default: plain main() replaying the corpus files passed as argv —
+//       registered as the `fuzz_corpus_replay` ctest target so every
+//       build exercises the corpus, g++ included.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "parjoin/serve/spec.h"
+
+namespace {
+
+void FuzzOne(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  {
+    auto result = parjoin::serve::ParseQuerySpecText(text, "fuzz");
+    (void)result;
+  }
+  {
+    auto result = parjoin::serve::ParseWorkloadText(text, "fuzz");
+    (void)result;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  FuzzOne(data, size);
+  return 0;
+}
+
+#ifndef PARJOIN_FUZZ_LIBFUZZER
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open corpus file: " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    FuzzOne(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+            bytes.size());
+    ++replayed;
+  }
+  std::cout << "replayed " << replayed << " corpus file(s)\n";
+  return 0;
+}
+
+#endif  // PARJOIN_FUZZ_LIBFUZZER

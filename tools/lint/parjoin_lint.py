@@ -329,6 +329,22 @@ def check_ingress_status(rel, raw, code, findings):
                 "CHECK_OK reserved for validated-by-construction calls"))
 
 
+def check_bare_assert(rel, raw, code, findings):
+    if not rel.startswith("src/"):
+        return
+    # `(?<![\w_])` keeps static_assert and *_assert identifiers out.
+    pat = re.compile(r"(?<![\w_])assert\s*\(")
+    for i, line in enumerate(code):
+        if pat.search(line):
+            if allowed("bare-assert", raw, i):
+                continue
+            findings.append(Finding(
+                rel, i + 1, "bare-assert",
+                "bare assert() compiles out under NDEBUG (the Release "
+                "default); use CHECK/CHECK_* (common/logging.h) for "
+                "invariants or Status/StatusOr for input errors"))
+
+
 def canonical_guard(rel):
     if rel.startswith("src/parjoin/"):
         stem = rel[len("src/parjoin/"):]
@@ -406,7 +422,7 @@ def check_include_hygiene(rel, raw, code, findings, root):
 RULES = [
     "thread-primitive", "raw-sync", "nondet-random", "chrono-timing",
     "unchecked-count-mul", "cross-part-write", "header-guard",
-    "include-hygiene", "ingress-status",
+    "include-hygiene", "ingress-status", "bare-assert",
 ]
 
 
@@ -426,6 +442,7 @@ def lint_file(path, root):
     check_unchecked_count_mul(rel, raw, code, findings)
     check_cross_part_write(rel, raw, code, findings)
     check_ingress_status(rel, raw, code, findings)
+    check_bare_assert(rel, raw, code, findings)
     check_header_guard(rel, raw, code, findings)
     check_include_hygiene(rel, raw, code, findings, root)
     return findings
@@ -503,6 +520,12 @@ SELF_TEST_CASES = [
     ("ingress-status", "src/parjoin/serve/bad_spec.cc",
      "#include \"parjoin/serve/bad_spec.h\"\n"
      "void f(int tokens) { CHECK_EQ(tokens, 2); }\n"),
+    ("bare-assert", "src/parjoin/common/bad_assert.h",
+     "#ifndef PARJOIN_COMMON_BAD_ASSERT_H_\n"
+     "#define PARJOIN_COMMON_BAD_ASSERT_H_\n"
+     "#include <cassert>\n"
+     "inline void f(int n) { assert(n > 0); }\n"
+     "#endif  // PARJOIN_COMMON_BAD_ASSERT_H_\n"),
     ("header-guard", "src/parjoin/common/bad_guard.h",
      "#pragma once\n"
      "inline int f() { return 1; }\n"),
