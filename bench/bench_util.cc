@@ -79,6 +79,17 @@ std::string FormatEntry(const BenchJsonEntry& e) {
                   e.calibration.corrected, e.calibration.calib_factor);
     line += buf;
   }
+  if (e.recovery.present) {
+    std::snprintf(buf, sizeof(buf),
+                  ", \"resumes\": %d, \"resumed_rounds\": %d, "
+                  "\"rebalances\": %d, \"rebalance_comm\": %lld, "
+                  "\"replans\": %d",
+                  e.recovery.resumes, e.recovery.resumed_rounds,
+                  e.recovery.rebalances,
+                  static_cast<long long>(e.recovery.rebalance_comm),
+                  e.recovery.replans);
+    line += buf;
+  }
   line += "}";
   return line;
 }

@@ -69,6 +69,18 @@ struct CalibrationMetrics {
   double calib_factor = 0;  // fitted factor behind the calibrated pick
 };
 
+// Fine-grained-recovery metrics (E9): emitted into the entry only when
+// `present`. Counts come from the execution phase's Cluster::Stats /
+// RecoveryReport after a faulted run.
+struct RecoveryMetrics {
+  bool present = false;
+  int resumes = 0;         // replays that fast-forwarded from a checkpoint
+  int resumed_rounds = 0;  // rounds those resumes elided
+  int rebalances = 0;      // charged straggler re-balance rounds
+  std::int64_t rebalance_comm = 0;  // tuples those rounds shipped
+  int replans = 0;         // budget-abort re-plans
+};
+
 struct BenchJsonEntry {
   std::string experiment;  // e.g. "E1"
   std::string name;        // e.g. "sort/n=1048576/p=64/threads=4"
@@ -78,6 +90,7 @@ struct BenchJsonEntry {
   RunResult result;
   ServingMetrics serving;
   CalibrationMetrics calibration;
+  RecoveryMetrics recovery;
 };
 
 // Path of the trajectory file: $PARJOIN_BENCH_JSON if set, else

@@ -12,8 +12,19 @@
 //   --faults=<seed>              arm per-query deterministic fault
 //                                injection
 //   --checkpoint-interval=<r>    replicate state every r rounds (r >= 0)
+//   --resume                     after a crash, fast-forward the replay
+//                                over rounds the latest interval
+//                                checkpoint covers instead of re-charging
+//                                from round 1
+//   --straggle-threshold=<f>     re-balance a straggled server's round
+//                                load onto the others when the injected
+//                                delay factor is >= f (f > 0; 0 = passive)
 //   --load-budget-factor=<f>     per-round guardrail: abort rounds above
 //                                f x predicted load and degrade (f > 0)
+//   --replan                     on a load-budget abort, re-enter the
+//                                planner with measured loads and run the
+//                                cheapest remaining candidate instead of
+//                                degrading straight to Yannakakis
 //   --trace-out=<file>           write a parjoin-trace-v1 JSONL round
 //                                trace of every execution (obs/trace.h)
 //   --metrics-out=<file>         dump the metrics registry as JSON
@@ -66,7 +77,9 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--plan-cache-capacity=<n>] [--load-budget=<tuples>]"
                " [--faults=<seed>] [--checkpoint-interval=<r>]"
-               " [--load-budget-factor=<f>] [--trace-out=<file>]"
+               " [--resume] [--straggle-threshold=<f>]"
+               " [--load-budget-factor=<f>] [--replan]"
+               " [--trace-out=<file>]"
                " [--metrics-out=<file>] [--profile=<file>]"
                " [--calibration=<file>] <workload-file> | --demo[=<dir>]"
                "\n";
@@ -367,6 +380,21 @@ int main(int argc, char** argv) {
       }
       server_options.exec.checkpoint_interval =
           static_cast<int>(*interval);
+    } else if (arg == "--resume") {
+      server_options.exec.resume_from_checkpoint = true;
+    } else if (arg == "--replan") {
+      server_options.exec.replan_on_budget_abort = true;
+    } else if (parjoin::serve::MatchFlag(arg, "straggle-threshold",
+                                         &value)) {
+      auto threshold =
+          parjoin::serve::ParseDoubleFlag("straggle-threshold", value);
+      if (!threshold.ok() || *threshold <= 0) {
+        std::cerr << "error: --straggle-threshold needs a number > 0, "
+                     "got '"
+                  << value << "'\n";
+        return Usage(argv[0]);
+      }
+      server_options.exec.straggle_threshold = *threshold;
     } else if (parjoin::serve::MatchFlag(arg, "load-budget-factor",
                                          &value)) {
       auto factor =

@@ -9,9 +9,20 @@
 //   --faults=<seed>              deterministic fault injection (crash +
 //                                straggler + corrupted message per run)
 //   --checkpoint-interval=<r>    replicate state every r rounds (r >= 0)
+//   --resume                     after a crash, fast-forward the replay
+//                                over the rounds the latest interval
+//                                checkpoint covers instead of re-charging
+//                                them (needs --checkpoint-interval > 0)
+//   --straggle-threshold=<f>     actively re-balance injected straggles
+//                                with delay factor >= f onto the other
+//                                live servers (f > 0; default passive)
 //   --load-budget-factor=<f>     abort rounds above f x predicted load and
 //                                degrade onto the Yannakakis baseline
 //                                (f > 0)
+//   --replan                     on a load-budget abort, re-enter the
+//                                planner with the measured load and run
+//                                the cheapest remaining candidate instead
+//                                of degrading immediately
 //   --trace-out=<file>           write a parjoin-trace-v1 JSONL round
 //                                trace of the execution
 //   --profile=<file>             merge predicted-vs-measured samples from
@@ -63,7 +74,8 @@ struct ObsOptions {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json] [--faults=<seed>] [--checkpoint-interval=<r>]"
-               " [--load-budget-factor=<f>] [--trace-out=<file>]"
+               " [--resume] [--straggle-threshold=<f>]"
+               " [--load-budget-factor=<f>] [--replan] [--trace-out=<file>]"
                " [--profile=<file>] [--calibration=<file>]"
                " [--fit-calibration=<file>]"
                " <spec-file> | --demo[=<dir>]\n";
@@ -285,6 +297,21 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       exec_options.checkpoint_interval = static_cast<int>(*interval);
+    } else if (arg == "--resume") {
+      exec_options.resume_from_checkpoint = true;
+    } else if (arg == "--replan") {
+      exec_options.replan_on_budget_abort = true;
+    } else if (parjoin::serve::MatchFlag(arg, "straggle-threshold",
+                                         &value)) {
+      auto threshold =
+          parjoin::serve::ParseDoubleFlag("straggle-threshold", value);
+      if (!threshold.ok() || *threshold <= 0) {
+        std::cerr << "error: --straggle-threshold needs a number > 0, "
+                     "got '"
+                  << value << "'\n";
+        return Usage(argv[0]);
+      }
+      exec_options.straggle_threshold = *threshold;
     } else if (parjoin::serve::MatchFlag(arg, "load-budget-factor",
                                          &value)) {
       auto factor =

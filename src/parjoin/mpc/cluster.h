@@ -63,6 +63,15 @@ class Cluster {
     std::int64_t recovery_comm = 0;
     int retransmits = 0;  // corrupted messages detected and re-delivered
     int crashes = 0;      // fail-stop crashes fired
+    // Fine-grained recovery ledger (this file, BeginAttempt /
+    // ChargeRebalanceRound): resume fast-forwards begun, algorithm rounds
+    // they elided, straggler re-balance rounds charged, and the tuples
+    // those re-balances shipped (also counted in recovery_comm and
+    // total_comm).
+    int resumes = 0;
+    int resumed_rounds = 0;
+    int rebalances = 0;
+    std::int64_t rebalance_comm = 0;
   };
 
   explicit Cluster(int p, std::uint64_t seed = 0x9a3f7151c2d4e680ULL)
@@ -122,6 +131,9 @@ class Cluster {
     rounds_since_ckpt_ = 0;
     pending_retransmit_comm_ = 0;
     since_ckpt_.assign(static_cast<size_t>(live_), 0);
+    algo_rounds_done_ = 0;
+    ckpt_covered_rounds_ = 0;
+    fast_forward_remaining_ = 0;
   }
 
   // --- Fault injection ------------------------------------------------------
@@ -164,7 +176,11 @@ class Cluster {
   // repaired fault, not silent data loss.
   bool VerifyAndRepairMessages(const std::vector<std::uint64_t>& checksums,
                                std::vector<std::int64_t>* received) {
-    if (!faults_enabled_) return false;
+    // Elided (fast-forwarded) rounds are re-covered by the restored
+    // checkpoint: no corruption can fire inside the window — the event
+    // fires at the first live Exchange after it, exactly like an event
+    // whose scheduled round has already passed.
+    if (!faults_enabled_ || fast_forward_remaining_ > 0) return false;
     CHECK_EQ(checksums.size(), received->size());
     for (FaultEvent& e : plan_.events()) {
       if (e.fired || e.kind != FaultKind::kCorruption) continue;
@@ -218,8 +234,78 @@ class Cluster {
     ckpt_interval_ = interval;
     rounds_since_ckpt_ = 0;
     since_ckpt_.assign(static_cast<size_t>(live_), 0);
+    algo_rounds_done_ = 0;
+    ckpt_covered_rounds_ = 0;
   }
   int checkpoint_interval() const { return ckpt_interval_; }
+
+  // --- Resume points --------------------------------------------------------
+
+  // Algorithm (non-recovery) rounds of the current attempt covered by the
+  // latest interval-checkpoint replication — the rounds a resumed
+  // re-execution may fast-forward over. 0 until a replication round has
+  // been charged (or when interval checkpointing is off).
+  int checkpointed_rounds() const { return ckpt_covered_rounds_; }
+
+  // Marks the start of a fresh dispatch attempt (the executor calls this
+  // after restoring inputs, before re-dispatching). Per-attempt checkpoint
+  // progress restarts; with skip_rounds > 0 the attempt is a RESUME: the
+  // first skip_rounds non-recovery rounds of the re-execution are ELIDED.
+  // An elided round keeps its position in the monotone charged-round order
+  // (fault schedules stay aligned) but charges nothing — no load, comm, or
+  // critical path, no fault events, no budget check, and no checkpoint
+  // accumulation. The rotating replication scheme leaves each server's
+  // checkpointed delta resident on a surviving neighbor, so no separate
+  // bulk state-restore round is charged beyond the input restores the
+  // executor already pays for.
+  void BeginAttempt(int skip_rounds) {
+    CHECK_GE(skip_rounds, 0);
+    rounds_since_ckpt_ = 0;
+    since_ckpt_.assign(static_cast<size_t>(live_), 0);
+    algo_rounds_done_ = 0;
+    // The restored snapshot re-covers exactly the elided rounds, so a
+    // second crash before any new replication resumes from the same point.
+    ckpt_covered_rounds_ = skip_rounds;
+    fast_forward_remaining_ = skip_rounds;
+    if (skip_rounds > 0) {
+      stats_.resumes += 1;
+      fault_log_.push_back("resume: fast-forwarding " +
+                           std::to_string(skip_rounds) +
+                           " checkpointed round(s)");
+      if (observer_ != nullptr) {
+        EventRecord ev;
+        ev.kind = "resume";
+        ev.round = charged_rounds_;
+        ev.detail = fault_log_.back();
+        ev.moved = skip_rounds;
+        observer_->OnEventRecord(ev);
+      }
+    }
+  }
+
+  // --- Straggler re-balancing -----------------------------------------------
+
+  // 0 (the default) keeps the passive model: an injected straggle factor
+  // stretches the round's critical-path contribution. With a threshold
+  // t > 0, a factor >= t is handled ACTIVELY: the victim's pending round
+  // load is shipped onto the other live servers (capacity-weighted) in one
+  // charged re-balance round, and the straggled round contributes the
+  // post-re-balance effective time instead of the stretched one.
+  void SetStraggleThreshold(double threshold) {
+    CHECK_GE(threshold, 0);
+    straggle_threshold_ = threshold;
+  }
+  double straggle_threshold() const { return straggle_threshold_; }
+
+  // Per-server capacity weights (heterogeneous-cluster groundwork: a
+  // round's effective time is max received/capacity). Indexed by physical
+  // server; servers beyond the vector default to 1.0. Empty (the default)
+  // keeps the homogeneous model bit-for-bit.
+  void SetCapacities(std::vector<double> capacities) {
+    for (double c : capacities) CHECK_GT(c, 0);
+    capacities_ = std::move(capacities);
+  }
+  const std::vector<double>& capacities() const { return capacities_; }
 
   // Algorithm entry guard: a previous attempt must not leave a parallel
   // region open (the epoch mechanism makes abandoned guards no-ops, but a
@@ -268,6 +354,112 @@ class Cluster {
     int longest_branch = 0;
   };
 
+  // One planned straggler re-balance: the victim's pending round load and
+  // how it lands on the other live servers.
+  struct Rebalance {
+    int victim = 0;
+    double factor = 1.0;        // the injected delay factor that triggered it
+    std::int64_t moved = 0;     // tuples shipped off the victim
+    std::int64_t ship_max = 0;  // max tuples any recipient takes on
+    std::int64_t effective = 0; // post-re-balance round time
+  };
+
+  double CapacityOf(size_t s) const {
+    return s < capacities_.size() ? capacities_[s] : 1.0;
+  }
+
+  // Effective synchronous-round time under per-server capacities: the
+  // maximum over servers of received/capacity. Equals the plain round
+  // maximum with uniform (unset) capacities.
+  std::int64_t EffectiveTime(const std::vector<std::int64_t>& physical) const {
+    if (capacities_.empty()) {
+      std::int64_t m = 0;
+      for (std::int64_t r : physical) m = std::max(m, r);
+      return m;
+    }
+    double m = 0;
+    for (size_t s = 0; s < physical.size(); ++s) {
+      m = std::max(m, static_cast<double>(physical[s]) / CapacityOf(s));
+    }
+    return static_cast<std::int64_t>(std::llround(m));
+  }
+
+  // Splits the victim's round load across the other live servers
+  // proportionally to capacity (largest shares to the fastest servers),
+  // deterministically: fractional remainders are handed out one tuple at a
+  // time in server order.
+  Rebalance PlanRebalance(int victim, double factor,
+                          const std::vector<std::int64_t>& physical) const {
+    Rebalance rb;
+    rb.victim = victim;
+    rb.factor = factor;
+    rb.moved = physical[static_cast<size_t>(victim)];
+    const size_t n = physical.size();
+    double weight_sum = 0;
+    for (size_t s = 0; s < n; ++s) {
+      if (static_cast<int>(s) != victim) weight_sum += CapacityOf(s);
+    }
+    std::vector<std::int64_t> delta(n, 0);
+    std::int64_t assigned = 0;
+    for (size_t s = 0; s < n; ++s) {
+      if (static_cast<int>(s) == victim) continue;
+      delta[s] = static_cast<std::int64_t>(static_cast<double>(rb.moved) *
+                                           (CapacityOf(s) / weight_sum));
+      assigned += delta[s];
+    }
+    std::int64_t leftover = rb.moved - assigned;
+    for (size_t s = 0; leftover > 0; s = (s + 1) % n) {
+      if (static_cast<int>(s) == victim) continue;
+      delta[s] += 1;
+      --leftover;
+    }
+    double eff = 0;
+    for (size_t s = 0; s < n; ++s) {
+      if (static_cast<int>(s) == victim) continue;
+      rb.ship_max = std::max(rb.ship_max, delta[s]);
+      eff = std::max(eff, static_cast<double>(
+                              CheckedAdd(physical[s], delta[s])) /
+                              CapacityOf(s));
+    }
+    rb.effective = static_cast<std::int64_t>(std::llround(eff));
+    return rb;
+  }
+
+  // Charges the re-balance shipping round directly (like checkpoint
+  // replication: it cannot itself straggle, crash, or trigger a
+  // checkpoint). The traffic is recovery communication, itemized again in
+  // rebalance_comm.
+  void ChargeRebalanceRound(const Rebalance& rb) {
+    ++charged_rounds_;
+    stats_.rounds += 1;
+    stats_.rebalances += 1;
+    stats_.max_load = std::max(stats_.max_load, rb.ship_max);
+    stats_.total_comm = CheckedAdd(stats_.total_comm, rb.moved);
+    stats_.recovery_comm = CheckedAdd(stats_.recovery_comm, rb.moved);
+    stats_.rebalance_comm = CheckedAdd(stats_.rebalance_comm, rb.moved);
+    stats_.critical_path = CheckedAdd(stats_.critical_path, rb.ship_max);
+    fault_log_.push_back(
+        "rebalance at round " + std::to_string(charged_rounds_) +
+        ": shipped " + std::to_string(rb.moved) +
+        " tuple(s) off server " + std::to_string(rb.victim));
+    if (observer_ != nullptr) {
+      RoundRecord record;
+      record.round = charged_rounds_;
+      record.max_load = rb.ship_max;
+      record.tuples = rb.moved;
+      record.recovery = true;
+      observer_->OnRound(record);
+      EventRecord ev;
+      ev.kind = "rebalance";
+      ev.round = charged_rounds_;
+      ev.detail = fault_log_.back();
+      ev.server = rb.victim;
+      ev.factor = rb.factor;
+      ev.moved = rb.moved;
+      observer_->OnEventRecord(ev);
+    }
+  }
+
   std::vector<std::int64_t> FoldToPhysical(
       const std::vector<std::int64_t>& received) const {
     std::vector<std::int64_t> physical(static_cast<size_t>(live_), 0);
@@ -287,6 +479,25 @@ class Cluster {
       round_max = std::max(round_max, r);
       moved = CheckedAdd(moved, r);
     }
+    if (!recovery && fast_forward_remaining_ > 0) {
+      // Resume fast-forward: this round is re-covered by the restored
+      // interval checkpoint. It keeps its slot in the charged-round order
+      // but contributes nothing to the ledger, fires no fault events, and
+      // skips the budget check and checkpoint accumulation (BeginAttempt).
+      --fast_forward_remaining_;
+      algo_rounds_done_ += 1;
+      stats_.resumed_rounds += 1;
+      if (observer_ != nullptr) {
+        RoundRecord record;
+        record.round = charged_rounds_;
+        record.max_load = round_max;
+        record.tuples = moved;
+        record.recovery = false;
+        record.resumed = true;
+        observer_->OnRound(record);
+      }
+      return;
+    }
     stats_.rounds += 1;
     stats_.max_load = std::max(stats_.max_load, round_max);
     stats_.total_comm = CheckedAdd(stats_.total_comm, moved);
@@ -296,28 +507,53 @@ class Cluster {
 
     // Straggler: the slowest due delay factor stretches this round's
     // contribution to the critical path. Recovery rounds never straggle.
+    // With an armed straggle threshold, a due factor at or above it is
+    // re-balanced instead: the victim's pending round load ships to the
+    // other live servers (capacity-weighted) in a charged re-balance round
+    // below, and this round contributes the post-re-balance effective time
+    // rather than the stretched one.
     double factor = 1.0;
+    std::vector<Rebalance> rebalances;
     if (faults_enabled_ && !recovery) {
       for (FaultEvent& e : plan_.events()) {
         if (e.fired || e.kind != FaultKind::kStraggler) continue;
         if (e.round > charged_rounds_) continue;
         e.fired = true;
         e.fired_round = charged_rounds_;
-        factor = std::max(factor, e.factor);
+        const int victim =
+            e.server % static_cast<int>(physical.size());
+        const bool active = straggle_threshold_ > 0 &&
+                            e.factor >= straggle_threshold_ &&
+                            physical.size() > 1;
         fault_log_.push_back(
             "straggler at round " + std::to_string(charged_rounds_) +
             ": server " + std::to_string(e.server) + " delayed x" +
-            std::to_string(e.factor));
+            std::to_string(e.factor) + (active ? ", re-balancing" : ""));
         if (observer_ != nullptr) {
-          observer_->OnEvent("straggler", charged_rounds_,
-                             fault_log_.back());
+          EventRecord ev;
+          ev.kind = "straggler";
+          ev.round = charged_rounds_;
+          ev.detail = fault_log_.back();
+          ev.server = victim;
+          ev.factor = e.factor;
+          observer_->OnEventRecord(ev);
+        }
+        if (active) {
+          Rebalance rb = PlanRebalance(victim, e.factor, physical);
+          // A victim with no received tuples has nothing to ship — and
+          // nothing to straggle on: its delay stretches no charged work.
+          if (rb.moved > 0) rebalances.push_back(std::move(rb));
+        } else {
+          factor = std::max(factor, e.factor);
         }
       }
     }
-    stats_.critical_path = CheckedAdd(
-        stats_.critical_path,
-        static_cast<std::int64_t>(
-            std::llround(static_cast<double>(round_max) * factor)));
+    std::int64_t round_time = static_cast<std::int64_t>(std::llround(
+        static_cast<double>(EffectiveTime(physical)) * factor));
+    for (const Rebalance& rb : rebalances) {
+      round_time = std::max(round_time, rb.effective);
+    }
+    stats_.critical_path = CheckedAdd(stats_.critical_path, round_time);
 
     // Retransmission traffic from VerifyAndRepairMessages is already in
     // this round's physical counts; book it as recovery traffic here.
@@ -337,12 +573,19 @@ class Cluster {
       observer_->OnRound(record);
     }
 
-    if (!recovery && ckpt_interval_ > 0) {
-      for (size_t s = 0; s < physical.size(); ++s) {
-        since_ckpt_[s] = CheckedAdd(since_ckpt_[s], physical[s]);
-      }
-      if (++rounds_since_ckpt_ >= ckpt_interval_) {
-        ChargeCheckpointReplication();
+    for (const Rebalance& rb : rebalances) {
+      ChargeRebalanceRound(rb);
+    }
+
+    if (!recovery) {
+      algo_rounds_done_ += 1;
+      if (ckpt_interval_ > 0) {
+        for (size_t s = 0; s < physical.size(); ++s) {
+          since_ckpt_[s] = CheckedAdd(since_ckpt_[s], physical[s]);
+        }
+        if (++rounds_since_ckpt_ >= ckpt_interval_) {
+          ChargeCheckpointReplication();
+        }
       }
     }
 
@@ -403,6 +646,9 @@ class Cluster {
     stats_.critical_path = CheckedAdd(stats_.critical_path, rep_max);
     std::fill(since_ckpt_.begin(), since_ckpt_.end(), 0);
     rounds_since_ckpt_ = 0;
+    // Everything up to and including this round is now replicated: a
+    // resumed re-execution may fast-forward over these rounds.
+    ckpt_covered_rounds_ = algo_rounds_done_;
     if (observer_ != nullptr) {
       RoundRecord record;
       record.round = charged_rounds_;
@@ -448,6 +694,17 @@ class Cluster {
   int rounds_since_ckpt_ = 0;
   std::vector<std::int64_t> since_ckpt_;
   std::int64_t pending_retransmit_comm_ = 0;
+
+  // Fine-grained recovery state: non-recovery rounds completed this
+  // attempt (elided ones included — they represent completed progress),
+  // how many of them the latest replication covers, and how many rounds of
+  // a resumed re-execution remain to fast-forward over.
+  int algo_rounds_done_ = 0;
+  int ckpt_covered_rounds_ = 0;
+  int fast_forward_remaining_ = 0;
+
+  double straggle_threshold_ = 0;
+  std::vector<double> capacities_;
 
   RoundObserver* observer_ = nullptr;
 };

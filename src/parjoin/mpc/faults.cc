@@ -28,7 +28,12 @@ FaultPlan FaultPlan::Generate(const FaultConfig& config, int p) {
   for (int i = 0; i < config.crashes; ++i) {
     FaultEvent e;
     e.kind = FaultKind::kCrash;
-    e.round = static_cast<int>(rng.Uniform(1, config.horizon));
+    if (static_cast<size_t>(i) < config.crash_rounds.size()) {
+      CHECK_GE(config.crash_rounds[static_cast<size_t>(i)], 1);
+      e.round = config.crash_rounds[static_cast<size_t>(i)];
+    } else {
+      e.round = static_cast<int>(rng.Uniform(1, config.horizon));
+    }
     e.server = static_cast<int>(rng.Uniform(0, p - 1));
     plan.events_.push_back(e);
   }

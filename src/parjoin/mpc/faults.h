@@ -52,6 +52,12 @@ struct FaultConfig {
   // scheduled round has passed fire at the next eligible boundary, so a
   // small horizon guarantees every event fires even on short algorithms.
   int horizon = 4;
+  // When non-empty, crash i is pinned to crash_rounds[i] (1-based charged
+  // round, may exceed the horizon) instead of drawn from [1, horizon];
+  // crashes beyond the list fall back to the seeded draw. The recovery
+  // test/bench matrices use this to place crashes relative to checkpoint
+  // intervals deterministically.
+  std::vector<int> crash_rounds;
   // Straggler delay factors are drawn uniformly from [straggle_min,
   // straggle_max] (integer units of the round's maximum load).
   double straggle_min = 2.0;

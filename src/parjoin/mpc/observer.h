@@ -29,6 +29,22 @@ struct RoundRecord {
   std::int64_t tuples = 0;      // total tuples moved this round
   bool recovery = false;        // checkpoint replication / restore traffic
   double straggle_factor = 1;   // critical-path stretch applied (>= 1)
+  // True when a resumed re-execution fast-forwarded over this round: its
+  // work is re-covered by the restored interval checkpoint, so nothing
+  // was charged to the ledger (mpc/cluster.h, Cluster::BeginAttempt).
+  bool resumed = false;
+};
+
+// A discrete fault/recovery event with its structured payload. `server`,
+// `factor`, and `moved` carry the sentinel defaults below when the event
+// kind has no such attribute (the trace layer omits them from output).
+struct EventRecord {
+  const char* kind = "";   // "straggler", "rebalance", "resume", ...
+  int round = 0;           // charged round (0 when not tied to a round)
+  std::string detail;
+  int server = -1;         // straggle/re-balance victim server
+  double factor = 0;       // injected straggle delay factor
+  std::int64_t moved = -1; // tuples shipped by a re-balance round
 };
 
 class RoundObserver {
@@ -40,11 +56,20 @@ class RoundObserver {
   virtual void OnRound(const RoundRecord& record) = 0;
 
   // Discrete events: "straggler", "retransmit", "crash", "budget_abort",
-  // "checkpoint", plus executor-level markers ("attempt", "replay",
-  // "degrade", "plan"). `round` is the charged-round index the event is
-  // associated with (0 when not tied to a round).
+  // "checkpoint", "rebalance", "resume", plus executor-level markers
+  // ("attempt", "replay", "degrade", "replan", "plan"). `round` is the
+  // charged-round index the event is associated with (0 when not tied to
+  // a round).
   virtual void OnEvent(const char* kind, int round,
                        const std::string& detail) = 0;
+
+  // Structured variant: events that carry a payload (straggle victim and
+  // factor, re-balanced tuple count) arrive here. The default forwards to
+  // OnEvent, dropping the payload, so observers that only care about the
+  // textual trail need not override it.
+  virtual void OnEventRecord(const EventRecord& event) {
+    OnEvent(event.kind, event.round, event.detail);
+  }
 
   // Scope labels: primitives push their name ("sort", "exchange", ...) so
   // round records can be attributed. Scopes nest.

@@ -27,6 +27,7 @@ void TraceRecorder::OnRound(const mpc::RoundRecord& record) {
   r.tuples = record.tuples;
   r.recovery = record.recovery;
   r.straggle = record.straggle_factor;
+  r.resumed = record.resumed;
   r.wall_ms = since_start_.ElapsedMillis();
   rounds_.push_back(std::move(r));
 }
@@ -38,6 +39,19 @@ void TraceRecorder::OnEvent(const char* kind, int round,
   e.kind = kind;
   e.round = round;
   e.detail = detail;
+  e.wall_ms = since_start_.ElapsedMillis();
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::OnEventRecord(const mpc::EventRecord& event) {
+  TraceEvent e;
+  e.seq = next_seq_++;
+  e.kind = event.kind;
+  e.round = event.round;
+  e.detail = event.detail;
+  e.server = event.server;
+  e.factor = event.factor;
+  e.moved = event.moved;
   e.wall_ms = since_start_.ElapsedMillis();
   events_.push_back(std::move(e));
 }
@@ -84,13 +98,17 @@ std::string TraceRecorder::ToJsonl() const {
          << ",\"tuples\":" << r.tuples << ",\"recovery\":"
          << (r.recovery ? "true" : "false")
          << ",\"straggle\":" << JsonDouble(r.straggle)
+         << ",\"resumed\":" << (r.resumed ? "true" : "false")
          << ",\"wall_ms\":" << JsonDouble(r.wall_ms) << "}\n";
     } else {
       const TraceEvent& e = events_[ei++];
       os << "{\"type\":\"event\",\"seq\":" << e.seq << ",\"kind\":\""
          << JsonEscape(e.kind) << "\",\"round\":" << e.round
-         << ",\"detail\":\"" << JsonEscape(e.detail)
-         << "\",\"wall_ms\":" << JsonDouble(e.wall_ms) << "}\n";
+         << ",\"detail\":\"" << JsonEscape(e.detail) << '"';
+      if (e.server >= 0) os << ",\"server\":" << e.server;
+      if (e.factor > 0) os << ",\"factor\":" << JsonDouble(e.factor);
+      if (e.moved >= 0) os << ",\"moved\":" << e.moved;
+      os << ",\"wall_ms\":" << JsonDouble(e.wall_ms) << "}\n";
     }
   }
   return os.str();
@@ -164,6 +182,9 @@ StatusOr<ParsedTrace> ParseTraceJsonl(const std::string& text) {
       PARJOIN_ASSIGN_OR_RETURN(r.recovery, GetBool(obj, "recovery", where));
       PARJOIN_ASSIGN_OR_RETURN(r.straggle,
                                GetNumber(obj, "straggle", where));
+      if (obj.count("resumed") > 0) {
+        PARJOIN_ASSIGN_OR_RETURN(r.resumed, GetBool(obj, "resumed", where));
+      }
       PARJOIN_ASSIGN_OR_RETURN(r.wall_ms, GetNumber(obj, "wall_ms", where));
       parsed.rounds.push_back(std::move(r));
     } else if (type == "event") {
@@ -178,6 +199,17 @@ StatusOr<ParsedTrace> ParseTraceJsonl(const std::string& text) {
                                GetInt(obj, "round", where));
       e.round = static_cast<int>(round);
       PARJOIN_ASSIGN_OR_RETURN(e.detail, GetString(obj, "detail", where));
+      if (obj.count("server") > 0) {
+        PARJOIN_ASSIGN_OR_RETURN(std::int64_t server,
+                                 GetInt(obj, "server", where));
+        e.server = static_cast<int>(server);
+      }
+      if (obj.count("factor") > 0) {
+        PARJOIN_ASSIGN_OR_RETURN(e.factor, GetNumber(obj, "factor", where));
+      }
+      if (obj.count("moved") > 0) {
+        PARJOIN_ASSIGN_OR_RETURN(e.moved, GetInt(obj, "moved", where));
+      }
       PARJOIN_ASSIGN_OR_RETURN(e.wall_ms, GetNumber(obj, "wall_ms", where));
       parsed.events.push_back(std::move(e));
     } else {

@@ -5,9 +5,14 @@
 // Schema `parjoin-trace-v1`, one flat JSON object per line:
 //   {"type":"meta","schema":"parjoin-trace-v1","label":...,<annotations>}
 //   {"type":"round","seq":N,"round":R,"scope":"sort/exchange",
-//    "max_load":L,"tuples":T,"recovery":B,"straggle":F,"wall_ms":W}
-//   {"type":"event","seq":N,"kind":"crash","round":R,"detail":...,
+//    "max_load":L,"tuples":T,"recovery":B,"straggle":F,"resumed":B,
 //    "wall_ms":W}
+//   {"type":"event","seq":N,"kind":"crash","round":R,"detail":...,
+//    ["server":S,]["factor":F,]["moved":M,]"wall_ms":W}
+// Event payload fields are optional and kind-dependent: "straggler"
+// carries server+factor, "rebalance" carries server+factor+moved,
+// "resume" carries moved (the fast-forwarded round count); other kinds
+// omit all three.
 // The meta line comes first; rounds and events follow in emission order
 // (`seq` is the global order both share). `wall_ms` is milliseconds since
 // the recorder was constructed — the only nondeterministic field, and the
@@ -44,6 +49,9 @@ struct TraceRound {
   std::int64_t tuples = 0;
   bool recovery = false;
   double straggle = 1;
+  // True for rounds a resumed replay fast-forwarded over (elided from the
+  // ledger; mpc::RoundRecord::resumed).
+  bool resumed = false;
   double wall_ms = 0;
 };
 
@@ -52,6 +60,11 @@ struct TraceEvent {
   std::string kind;
   int round = 0;
   std::string detail;
+  // Structured payload (mpc::EventRecord); sentinel defaults mean "not
+  // carried by this kind" and are omitted from the JSONL line.
+  int server = -1;
+  double factor = 0;
+  std::int64_t moved = -1;
   double wall_ms = 0;
 };
 
@@ -63,6 +76,7 @@ class TraceRecorder : public mpc::RoundObserver {
   void OnRound(const mpc::RoundRecord& record) override;
   void OnEvent(const char* kind, int round,
                const std::string& detail) override;
+  void OnEventRecord(const mpc::EventRecord& event) override;
   void PushScope(const char* name) override;
   void PopScope() override;
 

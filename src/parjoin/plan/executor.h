@@ -86,6 +86,21 @@ struct ExecutionOptions {
   // sample (strictly read-only: recording never changes outputs or
   // charged loads). Not owned.
   ExecutionProfileSink* profile = nullptr;
+  // Fine-grained recovery: after a fail-stop crash, fast-forward the
+  // replayed execution over the rounds the latest interval checkpoint
+  // covers instead of re-charging them (mpc::Cluster::BeginAttempt).
+  // Needs checkpoint_interval > 0 to have any effect.
+  bool resume_from_checkpoint = false;
+  // Injected straggle factors at or above this threshold are actively
+  // re-balanced onto the other live servers (charged re-balance rounds)
+  // instead of passively stretching the critical path. 0 = passive.
+  double straggle_threshold = 0;
+  // On a load-budget abort, re-enter the planner: penalize the aborted
+  // candidate with its measured round load (through the calibration seam),
+  // re-score, and continue with the cheapest remaining candidate from the
+  // input checkpoint. Degrading onto Yannakakis stays the fallback once
+  // the candidates are exhausted (or with this off, the only response).
+  bool replan_on_budget_abort = false;
 };
 
 // One-line "chosen X: predicted N, measured M (ratio R)" summary of an
@@ -117,6 +132,56 @@ inline void RecordProfiledExecution(const mpc::Cluster& cluster,
   rec.attempts = plan.recovery.attempts;
   rec.degraded = plan.recovery.degraded_to_baseline;
   options.profile->RecordExecution(rec);
+}
+
+// Abort-time re-planning (ExecutionOptions::replan_on_budget_abort): after
+// a load-budget abort, feed the measured round load back through the
+// calibration seam as a penalty factor on the aborted candidate, re-score
+// the plan's candidates, and pick the cheapest one not yet aborted this
+// run. Returns false when every candidate has aborted (the caller falls
+// back to the unbudgeted Yannakakis degrade). `penalties` and
+// `aborted_algos` persist across calls so repeated aborts keep narrowing
+// the field; the penalty only ever raises a factor (the abort proves the
+// constant is at least that large).
+inline bool ReplanAfterBudgetAbort(PhysicalPlan& plan,
+                                   const mpc::RoundAbort& abort,
+                                   Algorithm aborted,
+                                   CalibrationTable* penalties,
+                                   std::vector<Algorithm>* aborted_algos,
+                                   Algorithm* next) {
+  if (std::find(aborted_algos->begin(), aborted_algos->end(), aborted) ==
+      aborted_algos->end()) {
+    aborted_algos->push_back(aborted);
+  }
+  if (penalties->empty()) {
+    // Seed from the candidates so re-scoring keeps whatever calibration
+    // the planner already applied.
+    for (const Candidate& c : plan.candidates) {
+      penalties->Set(c.algorithm, plan.shape,
+                     c.calib_factor > 0 ? c.calib_factor : 1.0);
+    }
+  }
+  if (const Candidate* c = plan.CandidateFor(aborted)) {
+    const double base = c->calib_factor > 0
+                            ? c->predicted_load / c->calib_factor
+                            : c->predicted_load;
+    if (base > 0 && abort.round_load > 0) {
+      const double measured = static_cast<double>(abort.round_load) / base;
+      penalties->Set(aborted, plan.shape,
+                     std::max(penalties->Factor(aborted, plan.shape),
+                              measured));
+    }
+  }
+  plan.candidates = ScoreCandidates(plan.shape, plan.stats, penalties);
+  plan.calibrated = true;
+  for (const Candidate& c : plan.candidates) {
+    if (std::find(aborted_algos->begin(), aborted_algos->end(),
+                  c.algorithm) == aborted_algos->end()) {
+      *next = c.algorithm;
+      return true;
+    }
+  }
+  return false;
 }
 
 // Runs `a` on the instance. CHECK-fails when the algorithm does not apply
@@ -193,7 +258,8 @@ StatusOr<DistRelation<S>> TryExecuteWithRecovery(
   plan->executed = plan->chosen;
   const bool resilient = options.faults.enabled ||
                          options.checkpoint_interval > 0 ||
-                         options.load_budget_factor > 0;
+                         options.load_budget_factor > 0 ||
+                         options.straggle_threshold > 0;
   Stopwatch exec_timer;
   if (!resilient) {
     DistRelation<S> result =
@@ -204,6 +270,7 @@ StatusOr<DistRelation<S>> TryExecuteWithRecovery(
   }
 
   cluster.SetCheckpointInterval(options.checkpoint_interval);
+  cluster.SetStraggleThreshold(options.straggle_threshold);
   const JoinTree query = instance.query;
   std::vector<Schema> schemas;
   std::vector<mpc::DistSnapshot<Tuple<S>>> snapshots;
@@ -223,15 +290,31 @@ StatusOr<DistRelation<S>> TryExecuteWithRecovery(
   RecoveryReport& report = plan->recovery;
   Algorithm algo = plan->chosen;
   std::int64_t backoff = options.backoff_base;
+  // How many rounds the next replay may fast-forward over (the latest
+  // interval checkpoint's coverage, read at crash time). Round snapshots
+  // are algorithm-specific, so a re-planned algorithm always restarts from
+  // the input checkpoint (resume 0).
+  int resume_rounds = 0;
+  // Measured penalty factors accumulated from budget aborts; fed back
+  // through the calibration seam when re-planning.
+  CalibrationTable abort_penalties;
+  std::vector<Algorithm> aborted_algos;
+  const auto finish_report = [&](int attempts) {
+    cluster.SetLoadBudget(0);
+    cluster.SetCheckpointInterval(0);
+    cluster.SetStraggleThreshold(0);
+    cluster.DisableFaults();
+    report.attempts = attempts;
+    report.crashes = cluster.stats().crashes;
+    report.resumes = cluster.stats().resumes;
+    report.resumed_rounds = cluster.stats().resumed_rounds;
+    report.rebalances = cluster.stats().rebalances;
+    report.events = cluster.fault_log();
+    plan->executed = algo;
+  };
   for (int attempt = 1;; ++attempt) {
     if (attempt > options.max_attempts) {
-      cluster.SetLoadBudget(0);
-      cluster.SetCheckpointInterval(0);
-      cluster.DisableFaults();
-      report.attempts = options.max_attempts;
-      report.crashes = cluster.stats().crashes;
-      report.events = cluster.fault_log();
-      plan->executed = algo;
+      finish_report(options.max_attempts);
       return ResourceExhaustedError(
           std::string("recovery attempts exhausted for ") +
           AlgorithmName(algo) + " after " +
@@ -248,26 +331,44 @@ StatusOr<DistRelation<S>> TryExecuteWithRecovery(
           replay.relations.push_back(DistRelation<S>{
               schemas[i], mpc::RestoreDist(cluster, snapshots[i])});
         }
+        cluster.BeginAttempt(resume_rounds);
         result = DispatchAlgorithm(cluster, algo, std::move(replay));
       }
-      cluster.SetLoadBudget(0);
-      cluster.SetCheckpointInterval(0);
-      cluster.DisableFaults();
-      report.attempts = attempt;
-      report.crashes = cluster.stats().crashes;
-      report.events = cluster.fault_log();
-      plan->executed = algo;
+      finish_report(attempt);
       RecordProfiledExecution(cluster, *plan, options,
                               exec_timer.ElapsedMillis());
       return result;
     } catch (const mpc::RoundAbort& abort) {
+      resume_rounds = 0;
       if (abort.reason == mpc::RoundAbort::Reason::kLoadBudget) {
         report.budget_aborts += 1;
-        // The budget fired once; whatever we fall back to runs unbudgeted
-        // (degrading again has nowhere to go).
         cluster.SetLoadBudget(0);
-        if (algo != Algorithm::kYannakakis &&
-            plan->shape != QueryShape::kSingleEdge) {
+        Algorithm next = algo;
+        if (options.replan_on_budget_abort &&
+            ReplanAfterBudgetAbort(*plan, abort, algo, &abort_penalties,
+                                   &aborted_algos, &next)) {
+          // Re-planned: continue with the cheapest remaining candidate,
+          // re-budgeted from its penalty-rescored prediction.
+          report.replans += 1;
+          algo = next;
+          if (options.load_budget_factor > 0) {
+            if (const Candidate* c = plan->CandidateFor(algo)) {
+              if (c->predicted_load > 0) {
+                cluster.SetLoadBudget(static_cast<std::int64_t>(std::llround(
+                    options.load_budget_factor * c->predicted_load)));
+              }
+            }
+          }
+          if (mpc::RoundObserver* obs = cluster.observer()) {
+            obs->OnEvent("replan", cluster.stats().rounds,
+                         std::string("budget abort: re-planning onto ") +
+                             AlgorithmName(algo));
+          }
+        } else if (algo != Algorithm::kYannakakis &&
+                   plan->shape != QueryShape::kSingleEdge) {
+          // The budget fired with no candidate left to try; whatever we
+          // fall back to runs unbudgeted (degrading again has nowhere to
+          // go).
           algo = Algorithm::kYannakakis;
           report.degraded_to_baseline = true;
           if (mpc::RoundObserver* obs = cluster.observer()) {
@@ -279,6 +380,9 @@ StatusOr<DistRelation<S>> TryExecuteWithRecovery(
       } else {
         report.backoff_total += backoff;
         backoff = std::min(options.backoff_cap, backoff * 2);
+        if (options.resume_from_checkpoint) {
+          resume_rounds = cluster.checkpointed_rounds();
+        }
       }
       if (mpc::RoundObserver* obs = cluster.observer()) {
         obs->OnEvent("replay", cluster.stats().rounds,

@@ -86,6 +86,13 @@ struct RecoveryReport {
   // Simulated backoff charged before replays (units of rounds; recorded,
   // never slept).
   std::int64_t backoff_total = 0;
+  // Fine-grained recovery: replays that resumed from an interval
+  // checkpoint, rounds those resumes fast-forwarded over, re-balance
+  // rounds charged against stragglers, and budget-abort re-plans.
+  int resumes = 0;
+  int resumed_rounds = 0;
+  int rebalances = 0;
+  int replans = 0;
   std::vector<std::string> events;  // cluster fault log, in firing order
 };
 

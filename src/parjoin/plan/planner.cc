@@ -54,7 +54,10 @@ void AppendStats(const char* key, const mpc::Cluster::Stats& s,
      << ",\"critical_path\":" << s.critical_path
      << ",\"recovery_comm\":" << s.recovery_comm
      << ",\"retransmits\":" << s.retransmits << ",\"crashes\":" << s.crashes
-     << '}';
+     << ",\"resumes\":" << s.resumes
+     << ",\"resumed_rounds\":" << s.resumed_rounds
+     << ",\"rebalances\":" << s.rebalances
+     << ",\"rebalance_comm\":" << s.rebalance_comm << '}';
 }
 
 }  // namespace
@@ -146,6 +149,15 @@ std::string PhysicalPlan::ToText() const {
     if (recovery.backoff_total > 0) {
       os << ", backoff " << recovery.backoff_total << " round(s)";
     }
+    if (recovery.resumes > 0) {
+      os << ", resumed " << recovery.resumes << " time(s) over "
+         << recovery.resumed_rounds << " checkpointed round(s)";
+    }
+    if (recovery.rebalances > 0) {
+      os << ", " << recovery.rebalances << " re-balance round(s) ("
+         << execution_stats.rebalance_comm << " tuple(s))";
+    }
+    if (recovery.replans > 0) os << ", " << recovery.replans << " re-plan(s)";
     os << "\n"
        << "recovery comm: " << execution_stats.recovery_comm
        << " tuple(s), critical path " << execution_stats.critical_path
@@ -199,7 +211,12 @@ std::string PhysicalPlan::ToJson() const {
      << ",\"critical_path\":" << execution_stats.critical_path
      << ",\"degraded_to_baseline\":"
      << (recovery.degraded_to_baseline ? "true" : "false")
-     << ",\"backoff_total\":" << recovery.backoff_total << ",\"events\":[";
+     << ",\"backoff_total\":" << recovery.backoff_total
+     << ",\"resumes\":" << recovery.resumes
+     << ",\"resumed_rounds\":" << recovery.resumed_rounds
+     << ",\"rebalances\":" << recovery.rebalances
+     << ",\"rebalance_comm\":" << execution_stats.rebalance_comm
+     << ",\"replans\":" << recovery.replans << ",\"events\":[";
   for (size_t i = 0; i < recovery.events.size(); ++i) {
     if (i > 0) os << ',';
     os << '"' << JsonEscape(recovery.events[i]) << '"';

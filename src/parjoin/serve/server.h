@@ -452,6 +452,37 @@ class Server {
     if (out.plan.recovery.degraded_to_baseline) {
       registry_metrics_.GetCounter("recovery_degraded")->Increment();
     }
+    // Fine-grained recovery ledger, exported per query so --metrics-out
+    // carries the full recovery trail (resume/re-balance/re-plan counters
+    // plus the charged recovery traffic behind them).
+    if (out.plan.recovery.resumes > 0) {
+      registry_metrics_.GetCounter("recovery_resumes")
+          ->Increment(out.plan.recovery.resumes);
+      registry_metrics_.GetCounter("recovery_resumed_rounds")
+          ->Increment(out.plan.recovery.resumed_rounds);
+    }
+    if (out.plan.recovery.rebalances > 0) {
+      registry_metrics_.GetCounter("recovery_rebalances")
+          ->Increment(out.plan.recovery.rebalances);
+      registry_metrics_.GetCounter("recovery_rebalance_comm")
+          ->Increment(out.plan.execution_stats.rebalance_comm);
+    }
+    if (out.plan.recovery.replans > 0) {
+      registry_metrics_.GetCounter("recovery_replans")
+          ->Increment(out.plan.recovery.replans);
+    }
+    if (out.plan.execution_stats.recovery_comm > 0) {
+      registry_metrics_.GetCounter("recovery_comm")
+          ->Increment(out.plan.execution_stats.recovery_comm);
+    }
+    if (out.plan.execution_stats.retransmits > 0) {
+      registry_metrics_.GetCounter("recovery_retransmits")
+          ->Increment(out.plan.execution_stats.retransmits);
+    }
+    if (out.plan.execution_stats.critical_path > 0) {
+      registry_metrics_.GetCounter("critical_path_total")
+          ->Increment(out.plan.execution_stats.critical_path);
+    }
     if (!result.ok()) {
       // The cluster (possibly crash-shrunken) dies with this scope; the
       // next query gets a fresh one from the registered partitions.

@@ -53,11 +53,19 @@ int CheckpointInterval() {
   return 2;
 }
 
+bool ResumeFromCheckpoint() {
+  if (const char* env = std::getenv("PARJOIN_RESUME")) {
+    return std::strtol(env, nullptr, 10) != 0;
+  }
+  return false;
+}
+
 plan::ExecutionOptions FaultedOptions() {
   plan::ExecutionOptions options;
   options.faults.enabled = true;
   options.faults.seed = FaultSeed();
   options.checkpoint_interval = CheckpointInterval();
+  options.resume_from_checkpoint = ResumeFromCheckpoint();
   return options;
 }
 
@@ -439,6 +447,378 @@ TEST(LoadBudgetTest, GenerousBudgetNeverFires) {
   EXPECT_EQ(exec.plan.recovery.budget_aborts, 0);
   EXPECT_FALSE(exec.plan.recovery.degraded_to_baseline);
   EXPECT_EQ(exec.plan.executed, exec.plan.chosen);
+}
+
+// --- mid-run checkpoint resume ------------------------------------------------
+
+TEST(ResumeTest, CheckpointedRoundsTrackTheLatestReplication) {
+  mpc::Cluster cluster(2);
+  cluster.SetCheckpointInterval(2);
+  EXPECT_EQ(cluster.checkpointed_rounds(), 0);
+  cluster.ChargeRound({5, 7});
+  EXPECT_EQ(cluster.checkpointed_rounds(), 0);  // interval not complete
+  cluster.ChargeRound({5, 7});
+  EXPECT_EQ(cluster.checkpointed_rounds(), 2);  // replication fired
+  cluster.ChargeRound({5, 7});
+  EXPECT_EQ(cluster.checkpointed_rounds(), 2);  // round 3 not yet covered
+  cluster.ChargeRound({5, 7});
+  EXPECT_EQ(cluster.checkpointed_rounds(), 4);
+}
+
+TEST(ResumeTest, BeginAttemptFastForwardElidesCharges) {
+  mpc::Cluster cluster(2);
+  cluster.SetCheckpointInterval(2);
+  cluster.ChargeRound({5, 7});
+  cluster.ChargeRound({5, 7});
+  ASSERT_EQ(cluster.checkpointed_rounds(), 2);
+  const mpc::Cluster::Stats before = cluster.stats();
+
+  cluster.BeginAttempt(2);
+  EXPECT_EQ(cluster.stats().resumes, 1);
+  cluster.ChargeRound({5, 7});  // elided
+  cluster.ChargeRound({5, 7});  // elided
+  // The fast-forward window charged nothing to the ledger.
+  EXPECT_EQ(cluster.stats().rounds, before.rounds);
+  EXPECT_EQ(cluster.stats().max_load, before.max_load);
+  EXPECT_EQ(cluster.stats().total_comm, before.total_comm);
+  EXPECT_EQ(cluster.stats().critical_path, before.critical_path);
+  EXPECT_EQ(cluster.stats().recovery_comm, before.recovery_comm);
+  EXPECT_EQ(cluster.stats().resumed_rounds, 2);
+  // A second pre-replication crash would resume from the same point.
+  EXPECT_EQ(cluster.checkpointed_rounds(), 2);
+
+  // The first live round past the window charges normally and restarts
+  // interval accounting from the window's end.
+  cluster.ChargeRound({3, 4});
+  EXPECT_EQ(cluster.stats().rounds, before.rounds + 1);
+  EXPECT_EQ(cluster.stats().total_comm, before.total_comm + 7);
+  EXPECT_EQ(cluster.checkpointed_rounds(), 2);
+  cluster.ChargeRound({3, 4});
+  EXPECT_EQ(cluster.checkpointed_rounds(), 4);
+}
+
+TEST(ResumeTest, BudgetAndFaultsDoNotFireInsideTheWindow) {
+  mpc::Cluster cluster(3);
+  cluster.SetCheckpointInterval(2);
+  cluster.ChargeRound({5, 5, 5});
+  cluster.ChargeRound({5, 5, 5});
+  ASSERT_EQ(cluster.checkpointed_rounds(), 2);
+  cluster.SetLoadBudget(1);
+  cluster.BeginAttempt(2);
+  // Both rounds exceed the budget but are elided: no abort.
+  cluster.ChargeRound({5, 5, 5});
+  cluster.ChargeRound({5, 5, 5});
+  cluster.SetLoadBudget(0);
+  EXPECT_EQ(cluster.stats().resumed_rounds, 2);
+}
+
+// Runs `make_instance` under a crashes-only schedule pinned past the first
+// checkpoint interval and requires: the resumed run's output is identical
+// to both the fault-free baseline and the input-replay recovery, while
+// replaying strictly fewer rounds and charging strictly less recovery
+// communication than input-replay.
+template <typename MakeInstance>
+void ExpectResumeSavesReplayedRounds(const MakeInstance& make_instance,
+                                     int p, const char* what) {
+  Relation<S> baseline;
+  {
+    mpc::Cluster cluster(p);
+    auto exec = plan::PlanAndRun(cluster, make_instance(cluster));
+    baseline = exec.result.ToLocal();
+    baseline.Normalize();
+  }
+
+  auto faulted = [&](bool resume) {
+    plan::ExecutionOptions options;
+    options.faults.enabled = true;
+    options.faults.seed = FaultSeed();
+    options.faults.crashes = 1;
+    options.faults.stragglers = 0;
+    options.faults.corruptions = 0;
+    // Pin the crash past the first interval checkpoint: input snapshots
+    // plus at least two algorithm rounds have been charged by round 6 for
+    // every tier-1 shape, so a replication round precedes the crash.
+    options.faults.crash_rounds = {6};
+    options.checkpoint_interval = 2;
+    options.resume_from_checkpoint = resume;
+    mpc::Cluster cluster(p);
+    auto exec = plan::PlanAndRun(cluster, make_instance(cluster),
+                                 plan::PlannerOptions{}, options);
+    Relation<S> out = exec.result.ToLocal();
+    out.Normalize();
+    return std::make_pair(std::move(out), exec.plan);
+  };
+
+  const auto [replay_out, replay_plan] = faulted(/*resume=*/false);
+  const auto [resume_out, resume_plan] = faulted(/*resume=*/true);
+
+  ASSERT_EQ(replay_plan.recovery.crashes, 1) << what;
+  ASSERT_EQ(resume_plan.recovery.crashes, 1) << what;
+  EXPECT_EQ(replay_plan.recovery.resumes, 0) << what;
+  EXPECT_EQ(resume_plan.recovery.resumes, 1) << what;
+  EXPECT_GE(resume_plan.recovery.resumed_rounds, 2) << what;
+
+  EXPECT_TRUE(resume_out == baseline)
+      << what << ": resumed output diverged from fault-free baseline\n"
+      << resume_plan.ToText();
+  EXPECT_TRUE(resume_out == replay_out)
+      << what << ": resumed output diverged from input-replay recovery\n"
+      << resume_plan.ToText();
+
+  const auto& replayed = replay_plan.execution_stats;
+  const auto& resumed = resume_plan.execution_stats;
+  EXPECT_LT(resumed.rounds, replayed.rounds) << what;
+  EXPECT_LT(resumed.recovery_comm, replayed.recovery_comm) << what;
+}
+
+TEST(ResumeRecoveryTest, MatMulResumeSavesReplayedRounds) {
+  ThreadOverrideGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    ExpectResumeSavesReplayedRounds(
+        [](const mpc::Cluster& cluster) {
+          return GenMatMulBlocks<S>(
+              cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+        },
+        /*p=*/8, "matmul");
+  }
+}
+
+TEST(ResumeRecoveryTest, LineResumeSavesReplayedRounds) {
+  ThreadOverrideGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    ExpectResumeSavesReplayedRounds(
+        [](const mpc::Cluster& cluster) {
+          LineBlockConfig cfg;
+          cfg.arity = 3;
+          cfg.blocks = 4;
+          cfg.side_end = 4;
+          cfg.side_mid = 12;
+          return GenLineBlocks<S>(cluster, cfg);
+        },
+        /*p=*/8, "line");
+  }
+}
+
+TEST(ResumeRecoveryTest, StarResumeSavesReplayedRounds) {
+  ThreadOverrideGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    ExpectResumeSavesReplayedRounds(
+        [](const mpc::Cluster& cluster) {
+          StarBlockConfig cfg;
+          return GenStarBlocks<S>(cluster, cfg);
+        },
+        /*p=*/8, "star");
+  }
+}
+
+TEST(ResumeRecoveryTest, TreeResumeSavesReplayedRounds) {
+  ThreadOverrideGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelForThreads(threads);
+    ExpectResumeSavesReplayedRounds(
+        [](const mpc::Cluster& cluster) {
+          JoinTree query({{0, 1}, {1, 2}, {2, 3}, {2, 4}}, {0, 3, 4});
+          return GenTreeRandom<S>(cluster, std::move(query),
+                                  /*tuples_per_relation=*/600, /*dom=*/30,
+                                  /*seed=*/5);
+        },
+        /*p=*/8, "tree");
+  }
+}
+
+TEST(ResumeRecoveryTest, CrashDuringResumedRunResumesAgain) {
+  // Double failure: the second crash lands on the already-resumed attempt,
+  // which must itself resume and still produce the fault-free output.
+  Relation<S> baseline;
+  {
+    mpc::Cluster cluster(8);
+    auto exec = plan::PlanAndRun(
+        cluster, GenMatMulBlocks<S>(
+                     cluster, MatMulBlockConfig::FromTargets(2000, 512, 4)));
+    baseline = exec.result.ToLocal();
+    baseline.Normalize();
+  }
+
+  plan::ExecutionOptions options;
+  options.faults.enabled = true;
+  options.faults.seed = FaultSeed();
+  options.faults.crashes = 2;
+  options.faults.stragglers = 0;
+  options.faults.corruptions = 0;
+  options.faults.crash_rounds = {6, 11};
+  options.checkpoint_interval = 2;
+  options.resume_from_checkpoint = true;
+  mpc::Cluster cluster(8);
+  auto instance = GenMatMulBlocks<S>(
+      cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+  auto exec = plan::PlanAndRun(cluster, std::move(instance),
+                               plan::PlannerOptions{}, options);
+  Relation<S> got = exec.result.ToLocal();
+  got.Normalize();
+
+  EXPECT_TRUE(got == baseline) << exec.plan.ToText();
+  EXPECT_EQ(exec.plan.recovery.crashes, 2);
+  EXPECT_EQ(exec.plan.recovery.attempts, 3);
+  EXPECT_EQ(exec.plan.recovery.resumes, 2);
+  EXPECT_GE(exec.plan.recovery.resumed_rounds, 4);
+  EXPECT_EQ(cluster.p(), 6);
+}
+
+// --- straggler re-balancing ---------------------------------------------------
+
+TEST(StragglerRebalanceTest, ThresholdShipsLoadAndBoundsCriticalPath) {
+  mpc::FaultConfig config;
+  config.crashes = 0;
+  config.corruptions = 0;
+  config.stragglers = 1;
+  config.straggle_min = 6.0;
+  config.straggle_max = 6.0;
+  config.horizon = 1;
+
+  // Passive: the factor stretches the round (10 x 6 = 60).
+  mpc::Cluster passive(4);
+  passive.EnableFaults(config);
+  passive.ChargeRound({10, 10, 10, 10});
+  EXPECT_EQ(passive.stats().critical_path, 60);
+  EXPECT_EQ(passive.stats().rebalances, 0);
+
+  // Active: the victim's 10 tuples ship onto the three other servers
+  // (shares 4+3+3), the straggled round contributes the post-re-balance
+  // effective time max(10 + 4) = 14, and the re-balance round itself adds
+  // its ship maximum of 4.
+  mpc::Cluster active(4);
+  active.EnableFaults(config);
+  active.SetStraggleThreshold(4.0);
+  active.ChargeRound({10, 10, 10, 10});
+  EXPECT_EQ(active.stats().rebalances, 1);
+  EXPECT_EQ(active.stats().rebalance_comm, 10);
+  EXPECT_EQ(active.stats().critical_path, 14 + 4);
+  EXPECT_EQ(active.stats().recovery_comm, 10);
+  EXPECT_EQ(active.stats().rounds, 2);  // straggled round + re-balance
+  EXPECT_LT(active.stats().critical_path, passive.stats().critical_path);
+  bool logged = false;
+  for (const std::string& e : active.fault_log()) {
+    if (e.find("rebalance") != std::string::npos) logged = true;
+  }
+  EXPECT_TRUE(logged);
+}
+
+TEST(StragglerRebalanceTest, BelowThresholdStaysPassive) {
+  mpc::FaultConfig config;
+  config.crashes = 0;
+  config.corruptions = 0;
+  config.stragglers = 1;
+  config.straggle_min = 3.0;
+  config.straggle_max = 3.0;
+  config.horizon = 1;
+  mpc::Cluster cluster(4);
+  cluster.EnableFaults(config);
+  cluster.SetStraggleThreshold(4.0);  // factor 3 stays below it
+  cluster.ChargeRound({10, 10, 10, 10});
+  EXPECT_EQ(cluster.stats().rebalances, 0);
+  EXPECT_EQ(cluster.stats().critical_path, 30);
+}
+
+TEST(StragglerRebalanceTest, EndToEndRebalancePreservesOutput) {
+  Relation<S> baseline;
+  {
+    mpc::Cluster cluster(8);
+    auto exec = plan::PlanAndRun(
+        cluster, GenMatMulBlocks<S>(
+                     cluster, MatMulBlockConfig::FromTargets(2000, 512, 4)));
+    baseline = exec.result.ToLocal();
+    baseline.Normalize();
+  }
+
+  auto faulted = [&](double threshold) {
+    plan::ExecutionOptions options;
+    options.faults.enabled = true;
+    options.faults.seed = FaultSeed();
+    options.faults.crashes = 0;
+    options.faults.corruptions = 0;
+    options.faults.stragglers = 2;
+    options.faults.straggle_min = 6.0;
+    options.faults.straggle_max = 6.0;
+    options.straggle_threshold = threshold;
+    mpc::Cluster cluster(8);
+    auto instance = GenMatMulBlocks<S>(
+        cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+    auto exec = plan::PlanAndRun(cluster, std::move(instance),
+                                 plan::PlannerOptions{}, options);
+    Relation<S> out = exec.result.ToLocal();
+    out.Normalize();
+    return std::make_pair(std::move(out), exec.plan);
+  };
+
+  const auto [passive_out, passive_plan] = faulted(/*threshold=*/0);
+  const auto [active_out, active_plan] = faulted(/*threshold=*/4.0);
+
+  EXPECT_EQ(passive_plan.recovery.rebalances, 0);
+  EXPECT_GE(active_plan.recovery.rebalances, 1);
+  EXPECT_GT(active_plan.execution_stats.rebalance_comm, 0);
+  // Re-balancing only redistributes accounting, never data: both faulted
+  // runs must still match the fault-free baseline bit-for-bit.
+  EXPECT_TRUE(passive_out == baseline);
+  EXPECT_TRUE(active_out == baseline) << active_plan.ToText();
+  // Shipping the straggler's load bounds the critical-path growth below
+  // the passive stretch.
+  EXPECT_LT(active_plan.execution_stats.critical_path,
+            passive_plan.execution_stats.critical_path)
+      << active_plan.ToText();
+}
+
+// --- abort-time re-planning ---------------------------------------------------
+
+TEST(ReplanTest, BudgetAbortReplansInsteadOfDegrading) {
+  mpc::Cluster cluster(8);
+  auto instance = GenMatMulBlocks<S>(
+      cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+  Relation<S> expected = EvaluateReference(instance);
+
+  cluster.ResetStats();
+  plan::PhysicalPlan plan = plan::PlanQuery(cluster, instance);
+  ASSERT_NE(plan.shape, QueryShape::kSingleEdge);
+  ASSERT_GE(plan.candidates.size(), 2u);
+  plan.chosen = plan::Algorithm::kMatMulWorstCase;
+  plan.predicted_load = 1;  // guaranteed mispredicted
+
+  plan::ExecutionOptions options;
+  options.load_budget_factor = 4.0;
+  options.replan_on_budget_abort = true;
+  cluster.ResetStats();
+  Relation<S> got =
+      plan::ExecuteWithRecovery(cluster, std::move(instance), options, &plan)
+          .ToLocal();
+  got.Normalize();
+
+  EXPECT_GE(plan.recovery.replans, 1) << plan.ToText();
+  EXPECT_GE(plan.recovery.budget_aborts, 1);
+  EXPECT_FALSE(plan.recovery.degraded_to_baseline) << plan.ToText();
+  EXPECT_NE(plan.executed, plan::Algorithm::kMatMulWorstCase);
+  EXPECT_TRUE(got == expected)
+      << "got " << got.size() << " expected " << expected.size();
+}
+
+TEST(ReplanTest, ReplanOffKeepsTheDegradePath) {
+  // The default (replan off) must preserve the established behavior:
+  // one budget abort, degrade onto Yannakakis, zero re-plans.
+  mpc::Cluster cluster(8);
+  auto instance = GenMatMulBlocks<S>(
+      cluster, MatMulBlockConfig::FromTargets(2000, 512, 4));
+  cluster.ResetStats();
+  plan::PhysicalPlan plan = plan::PlanQuery(cluster, instance);
+  plan.chosen = plan::Algorithm::kMatMulWorstCase;
+  plan.predicted_load = 1;
+  plan::ExecutionOptions options;
+  options.load_budget_factor = 1.0;
+  cluster.ResetStats();
+  plan::ExecuteWithRecovery(cluster, std::move(instance), options, &plan);
+  EXPECT_TRUE(plan.recovery.degraded_to_baseline);
+  EXPECT_EQ(plan.recovery.replans, 0);
+  EXPECT_EQ(plan.executed, plan::Algorithm::kYannakakis);
 }
 
 // --- abort safety of the accounting machinery ---------------------------------

@@ -144,6 +144,7 @@ TEST(TraceTest, JsonlRoundTripsExactly) {
     EXPECT_EQ(got.tuples, want.tuples);
     EXPECT_EQ(got.recovery, want.recovery);
     EXPECT_EQ(got.straggle, want.straggle);
+    EXPECT_EQ(got.resumed, want.resumed);
     EXPECT_EQ(got.wall_ms, want.wall_ms);  // shortest-round-trip doubles
   }
   ASSERT_EQ(parsed->events.size(), trace.events().size());
@@ -154,6 +155,9 @@ TEST(TraceTest, JsonlRoundTripsExactly) {
     EXPECT_EQ(got.kind, want.kind);
     EXPECT_EQ(got.round, want.round);
     EXPECT_EQ(got.detail, want.detail);
+    EXPECT_EQ(got.server, want.server);
+    EXPECT_EQ(got.factor, want.factor);
+    EXPECT_EQ(got.moved, want.moved);
     EXPECT_EQ(got.wall_ms, want.wall_ms);
   }
   // Scope attribution: the executed primitives label their rounds.

@@ -56,6 +56,13 @@ OPTIONAL = {
     "measured_best": (str, None),
     "corrected": (int, 0),
     "calib_factor": ((int, float), 0),
+    # Fine-grained-recovery metrics (E9 entries from
+    # bench_recovery_granularity).
+    "resumes": (int, 0),
+    "resumed_rounds": (int, 0),
+    "rebalances": (int, 0),
+    "rebalance_comm": (int, 0),
+    "replans": (int, 0),
 }
 
 
@@ -147,6 +154,12 @@ GOOD_SERVING_ENTRY = dict(
     cold_plan_ms=4.0, warm_plan_ms=0.002,
 )
 
+GOOD_RECOVERY_ENTRY = dict(
+    GOOD_ENTRY, experiment="E9", name="recovery/line/crash=5/interval=2",
+    critical_path=40, recovery_comm=24, resumes=1, resumed_rounds=4,
+    rebalances=0, rebalance_comm=0, replans=0,
+)
+
 GOOD_CALIBRATION_ENTRY = dict(
     GOOD_ENTRY, experiment="E8", name="calibration/out=16384/p=16",
     chosen_unit="matmul_worst_case",
@@ -192,6 +205,20 @@ SELF_TEST_CASES = [
     ("negative calibration factor",
      {"schema": SCHEMA,
       "entries": [dict(GOOD_CALIBRATION_ENTRY, calib_factor=-0.5)]},
+     False),
+    ("E9 recovery entry",
+     {"schema": SCHEMA, "entries": [GOOD_RECOVERY_ENTRY]}, True),
+    ("negative resumed rounds",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_RECOVERY_ENTRY, resumed_rounds=-1)]},
+     False),
+    ("rebalance comm wrong type",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_RECOVERY_ENTRY, rebalance_comm=1.5)]},
+     False),
+    ("resumes bool masquerading as int",
+     {"schema": SCHEMA,
+      "entries": [dict(GOOD_RECOVERY_ENTRY, resumes=True)]},
      False),
     ("empty entries", {"schema": SCHEMA, "entries": []}, True),
     ("wrong schema", {"schema": "v0", "entries": []}, False),

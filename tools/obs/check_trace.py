@@ -12,9 +12,14 @@ writer regression fails CI even when the in-tree parser drifts with it:
   * every other line is a round or an event object:
       round: seq (int >= 0), round (int >= 0), scope (str),
              max_load (int >= 0), tuples (int >= 0), recovery (bool),
-             straggle (number >= 1), wall_ms (number >= 0)
+             straggle (number >= 1), resumed (bool), wall_ms (number >= 0)
       event: seq (int >= 0), kind (non-empty str), round (int >= 0),
-             detail (str), wall_ms (number >= 0)
+             detail (str), wall_ms (number >= 0), plus the optional
+             structured payload: server (int >= 0), factor (number >= 1),
+             moved (int >= 0)
+  * payload fields are required per kind: "straggler" events must carry
+    server and factor; "rebalance" events must carry server, factor and
+    moved; "resume" events must carry moved
   * no unknown fields on round/event lines
   * `seq` values are exactly 0..N-1 in file order (rounds and events
     share one emission order), and `wall_ms` never decreases with seq
@@ -40,6 +45,7 @@ ROUND_FIELDS = {
     "tuples": (int, 0),
     "recovery": (bool, None),
     "straggle": ((int, float), 1),
+    "resumed": (bool, None),
     "wall_ms": ((int, float), 0),
 }
 EVENT_FIELDS = {
@@ -49,6 +55,19 @@ EVENT_FIELDS = {
     "round": (int, 0),
     "detail": (str, None),
     "wall_ms": ((int, float), 0),
+}
+# Structured event payload: optional in general, but required per kind
+# (EVENT_KIND_PAYLOAD). `factor` is an injected straggle delay, >= 1 by
+# construction (mpc/faults.h draws from [straggle_min, straggle_max]).
+OPTIONAL_EVENT_FIELDS = {
+    "server": (int, 0),
+    "factor": ((int, float), 1),
+    "moved": (int, 0),
+}
+EVENT_KIND_PAYLOAD = {
+    "straggler": ("server", "factor"),
+    "rebalance": ("server", "factor", "moved"),
+    "resume": ("moved",),
 }
 # Fields where the empty string is legal ("scope": top-level round,
 # "detail": event without elaboration).
@@ -72,15 +91,28 @@ def check_field(where, field, value, types, minimum, errors):
         errors.append(f"{where}: field '{field}' = {value} < {minimum}")
 
 
-def check_record(where, record, fields, errors):
+def check_record(where, record, fields, errors, optional=None):
+    optional = optional or {}
     for field, (types, minimum) in fields.items():
         if field not in record:
             errors.append(f"{where}: missing field '{field}'")
         else:
             check_field(where, field, record[field], types, minimum, errors)
+    for field, (types, minimum) in optional.items():
+        if field in record:
+            check_field(where, field, record[field], types, minimum, errors)
     for field in record:
-        if field not in fields:
+        if field not in fields and field not in optional:
             errors.append(f"{where}: unknown field '{field}'")
+
+
+def check_event_payload(where, record, errors):
+    """Kind-dependent payload requirements (see EVENT_KIND_PAYLOAD)."""
+    kind = record.get("kind")
+    for field in EVENT_KIND_PAYLOAD.get(kind, ()):
+        if field not in record:
+            errors.append(f"{where}: '{kind}' event missing payload "
+                          f"field '{field}'")
 
 
 def validate(lines, min_rounds=0):
@@ -115,7 +147,9 @@ def validate(lines, min_rounds=0):
             check_record(where, record, ROUND_FIELDS, errors)
             rounds += 1
         elif kind == "event":
-            check_record(where, record, EVENT_FIELDS, errors)
+            check_record(where, record, EVENT_FIELDS, errors,
+                         optional=OPTIONAL_EVENT_FIELDS)
+            check_event_payload(where, record, errors)
         elif kind == "meta":
             errors.append(f"{where}: duplicate meta object")
             continue
@@ -161,11 +195,26 @@ GOOD_META = {"type": "meta", "schema": SCHEMA, "label": "demo", "p": "8"}
 GOOD_ROUND = {
     "type": "round", "seq": 0, "round": 1, "scope": "sort/exchange",
     "max_load": 128, "tuples": 1024, "recovery": False, "straggle": 1,
-    "wall_ms": 0.25,
+    "resumed": False, "wall_ms": 0.25,
 }
 GOOD_EVENT = {
     "type": "event", "seq": 1, "kind": "checkpoint", "round": 1,
     "detail": "", "wall_ms": 0.5,
+}
+GOOD_STRAGGLER = {
+    "type": "event", "seq": 1, "kind": "straggler", "round": 2,
+    "detail": "server 1 delayed x4", "server": 1, "factor": 4.0,
+    "wall_ms": 0.5,
+}
+GOOD_REBALANCE = {
+    "type": "event", "seq": 1, "kind": "rebalance", "round": 3,
+    "detail": "shipped 96 tuple(s) off server 1", "server": 1,
+    "factor": 4.0, "moved": 96, "wall_ms": 0.5,
+}
+GOOD_RESUME = {
+    "type": "event", "seq": 1, "kind": "resume", "round": 0,
+    "detail": "fast-forwarding 2 checkpointed round(s)", "moved": 2,
+    "wall_ms": 0.5,
 }
 
 SELF_TEST_CASES = [
@@ -198,6 +247,41 @@ SELF_TEST_CASES = [
      [GOOD_META, dict(GOOD_ROUND, wall_ms=2.0),
       dict(GOOD_EVENT, wall_ms=1.0)], 0, False),
     ("too few rounds", [GOOD_META], 1, False),
+    ("resumed round", [GOOD_META, dict(GOOD_ROUND, resumed=True)], 0, True),
+    ("resumed missing",
+     [GOOD_META, {k: v for k, v in GOOD_ROUND.items() if k != "resumed"}],
+     0, False),
+    ("resumed not bool",
+     [GOOD_META, dict(GOOD_ROUND, resumed=1)], 0, False),
+    ("straggler with payload",
+     [GOOD_META, GOOD_ROUND, GOOD_STRAGGLER], 0, True),
+    ("straggler missing server",
+     [GOOD_META, GOOD_ROUND, {k: v for k, v in GOOD_STRAGGLER.items()
+                              if k != "server"}], 0, False),
+    ("straggler missing factor",
+     [GOOD_META, GOOD_ROUND, {k: v for k, v in GOOD_STRAGGLER.items()
+                              if k != "factor"}], 0, False),
+    ("straggler factor below one",
+     [GOOD_META, GOOD_ROUND, dict(GOOD_STRAGGLER, factor=0.5)],
+     0, False),
+    ("rebalance with payload",
+     [GOOD_META, GOOD_ROUND, GOOD_REBALANCE], 0, True),
+    ("rebalance missing moved",
+     [GOOD_META, GOOD_ROUND, {k: v for k, v in GOOD_REBALANCE.items()
+                              if k != "moved"}], 0, False),
+    ("rebalance negative moved",
+     [GOOD_META, GOOD_ROUND, dict(GOOD_REBALANCE, moved=-1)],
+     0, False),
+    ("rebalance server not int",
+     [GOOD_META, GOOD_ROUND, dict(GOOD_REBALANCE, server="1")],
+     0, False),
+    ("resume with payload",
+     [GOOD_META, GOOD_ROUND, GOOD_RESUME], 0, True),
+    ("resume missing moved",
+     [GOOD_META, GOOD_ROUND,
+      {k: v for k, v in GOOD_RESUME.items() if k != "moved"}], 0, False),
+    ("payload on plain event is allowed",
+     [GOOD_META, GOOD_ROUND, dict(GOOD_EVENT, server=0)], 0, True),
 ]
 
 
